@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The heavy
+state (trained defense variants) is shared across benchmarks through the
+process-wide experiment-context cache, so a full ``pytest benchmarks/
+--benchmark-only`` session trains every model exactly once.
+
+The benchmarks use a dedicated ``bench`` profile -- smaller than the ``fast``
+profile used by ``python -m repro.experiments.runner`` -- so the whole
+harness completes on a single CPU core in minutes.  The regenerated numbers
+are printed below each benchmark; EXPERIMENTS.md records the fast-profile
+numbers alongside the paper's.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.experiments.config import ExperimentProfile  # noqa: E402
+from repro.experiments.context import get_context  # noqa: E402
+
+
+def bench_profile() -> ExperimentProfile:
+    """The reduced experiment profile used by the benchmark harness."""
+
+    return ExperimentProfile(
+        name="bench",
+        dataset_size=220,
+        epochs=4,
+        eval_views=8,
+        attack_steps=40,
+        attack_learning_rate=0.1,
+        target_classes=(5, 9),
+        smoothing_samples=8,
+        include_smoothing_baselines=True,
+        dct_sweep=(4, 8, 16),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Session-wide experiment context (datasets plus trained-model cache)."""
+
+    return get_context(bench_profile())
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are far too expensive for pytest-benchmark's default
+    auto-calibrated repetition, so every benchmark uses a single round.
+    """
+
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 3 (DCT mask dimension sweep of the adaptive attack).
+
+Paper reference (Figure 3): against the 7x7 depthwise model, the
+low-frequency adaptive attack's success rate depends on the DCT mask
+dimension, peaking around dimension 8 in the paper's setup and dropping for
+very restrictive masks.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure3_dct_sweep
+from repro.experiments.reporting import print_table
+
+
+def test_figure3_dct_dimension_sweep(benchmark, context):
+    rows = run_once(benchmark, figure3_dct_sweep, context)
+    print_table("Figure 3 (DCT mask dimension sweep) [bench profile]", rows)
+
+    dimensions = [row["dct_dimension"] for row in rows]
+    assert dimensions == sorted(dimensions)
+    assert len(rows) == len(context.profile.dct_sweep)
+
+    for row in rows:
+        assert 0.0 <= row["attack_success_rate"] <= 1.0
+        assert row["l2_dissimilarity"] >= 0.0
+
+    # More restrictive masks cannot express larger perturbations: the L2
+    # dissimilarity should not decrease as the mask dimension grows.
+    dissimilarities = [row["l2_dissimilarity"] for row in rows]
+    assert dissimilarities[0] <= dissimilarities[-1] + 0.05

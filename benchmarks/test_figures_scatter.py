@@ -1,0 +1,41 @@
+"""Benchmarks: regenerate Figures 5 and 6 (ASR vs L2-dissimilarity scatter plots).
+
+Paper references: Figures 5 and 6 plot, for every attack target class, the
+attack success rate against the L2 dissimilarity of the adversarial
+examples -- for the depthwise-convolution / TV models (Figure 5) and the
+Tikhonov / Gaussian-augmentation models (Figure 6).  Lower and to the right
+is better for the defender.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5_scatter, figure6_scatter
+from repro.experiments.reporting import print_table
+
+
+def _validate_scatter(rows, expected_prefixes, num_targets):
+    assert rows, "scatter data must not be empty"
+    models = {row["model"] for row in rows}
+    assert any(any(model.startswith(prefix) for model in models) for prefix in expected_prefixes)
+    per_model = {}
+    for row in rows:
+        assert 0.0 <= row["attack_success_rate"] <= 1.0
+        assert row["l2_dissimilarity"] >= 0.0
+        per_model.setdefault(row["model"], 0)
+        per_model[row["model"]] += 1
+    # One point per (model, target class).
+    assert all(count == num_targets for count in per_model.values())
+
+
+def test_figure5_scatter_conv_and_tv(benchmark, context):
+    rows = run_once(benchmark, figure5_scatter, context)
+    print_table("Figure 5 (ASR vs L2, conv/TV) [bench profile]", rows)
+    _validate_scatter(rows, ("conv", "tv_"), len(context.profile.target_classes))
+
+
+def test_figure6_scatter_tikhonov_and_gaussian(benchmark, context):
+    rows = run_once(benchmark, figure6_scatter, context)
+    print_table("Figure 6 (ASR vs L2, Tikhonov/Gaussian) [bench profile]", rows)
+    _validate_scatter(rows, ("tik_", "gaussian"), len(context.profile.target_classes))

@@ -1,0 +1,87 @@
+"""Benchmarks: regenerate Figures 1, 2 and 4 (the FFT spectrum analyses).
+
+Paper references:
+
+* Figure 1 -- the input-space spectra of a clean and a sticker-perturbed
+  stop sign are nearly indistinguishable (filtering the input is poorly
+  targeted).
+* Figure 2 -- the *first-layer feature-map* difference spectrum concentrates
+  the attack's added energy at high frequencies, and a 5x5 blur removes
+  most of it.
+* Figure 4 -- second-layer feature maps are broadband, so low-pass filtering
+  them would destroy information the classifier needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import (
+    figure1_input_spectra,
+    figure2_feature_spectra,
+    figure4_layer2_spectra,
+)
+from repro.experiments.reporting import print_table
+
+
+def test_figure1_input_spectra(benchmark, context):
+    summary = run_once(benchmark, figure1_input_spectra, context)
+    rows = [
+        {"image": name, "high_frequency_fraction": value}
+        for name, value in summary.high_frequency_fractions.items()
+    ]
+    print_table("Figure 1 (input spectra) [bench profile]", rows)
+
+    clean = summary.high_frequency_fractions["clean"]
+    perturbed = summary.high_frequency_fractions["perturbed"]
+    assert summary.spectra["clean"].shape == summary.spectra["perturbed"].shape
+    # Both spectra are dominated by low frequencies: the high-frequency
+    # fraction stays small for the clean *and* the perturbed sign, which is
+    # the paper's argument that the input spectrum gives no clear handle on
+    # the perturbation.
+    assert clean < 0.5
+    assert perturbed < 0.5
+
+
+def test_figure2_feature_map_spectra(benchmark, context):
+    data = run_once(benchmark, figure2_feature_spectra, context)
+    rows = [
+        {
+            "channel": index,
+            "difference_hf": float(data["summary_difference_hf"][index]),
+            "blurred_difference_hf": float(data["summary_blurred_difference_hf"][index]),
+        }
+        for index in range(len(data["summary_difference_hf"]))
+    ]
+    print_table("Figure 2 (feature-map spectra) [bench profile]", rows)
+
+    for key in (
+        "clean_spectra",
+        "perturbed_spectra",
+        "difference_spectra",
+        "blurred_difference_spectra",
+    ):
+        assert key in data and data[key].ndim == 3
+
+    # Blurring the difference map removes most of its high-frequency energy,
+    # the core observation motivating BlurNet.
+    mean_difference = float(np.mean(data["summary_difference_hf"]))
+    mean_blurred = float(np.mean(data["summary_blurred_difference_hf"]))
+    assert mean_blurred < mean_difference
+
+
+def test_figure4_layer2_spectra(benchmark, context):
+    summary = run_once(benchmark, figure4_layer2_spectra, context)
+    rows = [
+        {"quantity": name, "value": value}
+        for name, value in summary.high_frequency_fractions.items()
+    ]
+    print_table("Figure 4 (layer-2 spectra) [bench profile]", rows)
+
+    # Layer-2 feature maps carry at least as much relative high-frequency
+    # content as layer-1 maps -- the reason the paper filters only layer 1.
+    assert (
+        summary.high_frequency_fractions["layer2_mean_hf"]
+        >= summary.high_frequency_fractions["layer1_mean_hf"] * 0.8
+    )

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table I (black-box transfer, input vs feature filtering).
+
+Paper reference (Table I): the RP2 examples generated on the vanilla model
+achieve 90% transfer success; input filtering barely helps (87.5% / 67.5%
+for 3x3 / 5x5) while feature-map filtering helps substantially (65% / 17.5%),
+at the cost of some clean accuracy for the 5x5 feature filter.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.blackbox import run_blackbox_evaluation
+from repro.experiments.reporting import print_table
+
+
+def test_table1_blackbox_transfer(benchmark, context):
+    rows = run_once(benchmark, run_blackbox_evaluation, context)
+    as_dicts = [row.as_dict() for row in rows]
+    print_table("Table I (black-box transfer) [bench profile]", as_dicts)
+
+    by_name = {row.model_name: row for row in rows}
+    # The undefended baseline must be highly vulnerable to the transferred
+    # examples, and every filtered variant must not be *more* vulnerable.
+    assert by_name["baseline"].attack_success_rate >= 0.5
+    for name, row in by_name.items():
+        assert 0.0 <= row.attack_success_rate <= 1.0
+        assert 0.0 <= row.accuracy <= 1.0
+        if name != "baseline":
+            assert row.attack_success_rate <= by_name["baseline"].attack_success_rate + 1e-9

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table IV (unconstrained PGD breaks every defense).
+
+Paper reference (Table IV): a standard L-infinity PGD adversary
+(eps = 8/255, 10 steps) achieves 100% attack success rate against the
+baseline and every BlurNet defense -- the defense is specific to the
+localized-sticker threat model.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.pgd_eval import run_pgd_evaluation
+from repro.experiments.reporting import print_table
+
+
+def test_table4_pgd_breaks_all_defenses(benchmark, context):
+    rows = run_once(benchmark, run_pgd_evaluation, context)
+    print_table("Table IV (PGD) [bench profile]", [row.as_dict() for row in rows])
+
+    by_name = {row.model_name: row for row in rows}
+    assert "baseline" in by_name
+    assert any(name.startswith("tv_") for name in by_name)
+
+    for row in rows:
+        assert 0.0 <= row.attack_success_rate <= 1.0
+        assert row.dissimilarity >= 0.0
+
+    # The unconstrained pixel adversary must succeed against the defenses at
+    # a rate far above the sticker-constrained adaptive attack -- the paper
+    # reports 100% everywhere; we assert a high floor to keep the check
+    # robust to the reduced bench profile.
+    average_success = sum(row.attack_success_rate for row in rows) / len(rows)
+    assert average_success >= 0.5

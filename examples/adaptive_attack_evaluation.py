@@ -1,0 +1,71 @@
+"""Adaptive-attack evaluation of a BlurNet defense (paper Section V).
+
+Trains the TV-regularized defense and the Tik_hf defense, then attacks each
+with (a) the plain white-box RP2 attack and (b) the adaptive attack that
+adds the defense's own regularizer to the attacker objective (Eqs. (9) and
+(10)).  The paper's conclusion -- reproduced qualitatively here -- is that
+Tik_hf loses much of its apparent robustness under the adaptive attack while
+TV barely degrades.
+
+Run with ``python examples/adaptive_attack_evaluation.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import attack_success_rate
+from repro.attacks import RP2Attack, RP2Config, regularizer_aware_rp2
+from repro.core import DefendedClassifier, DefenseConfig
+from repro.data import make_dataset, make_stop_sign_eval_set, sticker_mask, train_test_split
+from repro.models import TrainingConfig
+
+
+def evaluate(classifier, attack, evaluation, masks, target_class):
+    """Attack success rate of one attack against one classifier."""
+
+    result = attack.generate(evaluation.images, masks, target_class)
+    clean_predictions = classifier.predict(evaluation.images)
+    adversarial_predictions = classifier.predict(result.adversarial_images)
+    return attack_success_rate(clean_predictions, adversarial_predictions)
+
+
+def main() -> None:
+    dataset = make_dataset(num_samples=400, seed=0)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.2, seed=0)
+    evaluation = make_stop_sign_eval_set(num_views=12, seed=7)
+    masks = np.stack([sticker_mask(mask) for mask in evaluation.masks])
+
+    training = TrainingConfig(epochs=8, batch_size=32, seed=0)
+    attack_config = RP2Config(steps=80, learning_rate=0.08, lambda_reg=0.1, seed=0)
+    targets = (5, 9)
+
+    print(f"{'model':<12} {'test acc':>9} {'white-box ASR':>14} {'adaptive ASR':>13}")
+    for config in (DefenseConfig.total_variation(2e-2), DefenseConfig.tikhonov_hf(1.0)):
+        classifier = DefendedClassifier.build(config, seed=0)
+        classifier.fit(train_set, training)
+
+        whitebox_rates = []
+        adaptive_rates = []
+        for target in targets:
+            whitebox = RP2Attack(classifier.model, attack_config)
+            whitebox_rates.append(evaluate(classifier, whitebox, evaluation, masks, target))
+
+            adaptive = regularizer_aware_rp2(
+                classifier.model, classifier.regularizer, config=attack_config
+            )
+            adaptive_rates.append(evaluate(classifier, adaptive, evaluation, masks, target))
+
+        print(
+            f"{classifier.name:<12} {classifier.evaluate(test_set):>9.3f} "
+            f"{float(np.mean(whitebox_rates)):>14.3f} {float(np.mean(adaptive_rates)):>13.3f}"
+        )
+
+    print(
+        "\nUnder the adaptive (defense-aware) attack the TV model should retain "
+        "most of its robustness, while Tik_hf degrades more noticeably."
+    )
+
+
+if __name__ == "__main__":
+    main()

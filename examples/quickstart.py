@@ -1,0 +1,72 @@
+"""Quickstart: train a BlurNet-defended road-sign classifier and attack it.
+
+This example walks through the core public API in a couple of minutes of CPU
+time:
+
+1. build a synthetic LISA-like traffic-sign dataset;
+2. train the undefended LISA-CNN baseline and a TV-regularized BlurNet
+   defense;
+3. run the RP2 sticker attack against both, white-box;
+4. report legitimate accuracy, attack success rate and L2 dissimilarity.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import attack_success_rate, l2_dissimilarity
+from repro.attacks import RP2Attack, RP2Config
+from repro.core import DefendedClassifier, DefenseConfig
+from repro.data import make_dataset, make_stop_sign_eval_set, sticker_mask, train_test_split
+from repro.models import TrainingConfig
+
+
+def main() -> None:
+    # 1. Data: a small synthetic LISA-like dataset plus the stop-sign views
+    #    the attack is evaluated on.
+    dataset = make_dataset(num_samples=400, seed=0)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.2, seed=0)
+    evaluation = make_stop_sign_eval_set(num_views=12, seed=7)
+    masks = np.stack([sticker_mask(mask) for mask in evaluation.masks])
+
+    training = TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3, seed=0)
+    attack_config = RP2Config(steps=80, learning_rate=0.08, lambda_reg=0.1, seed=0)
+    target_class = 5  # attack the stop sign toward "speedLimit45"
+
+    # 2. Train the baseline and the TV-regularized BlurNet defense.
+    results = {}
+    for config in (DefenseConfig.baseline(), DefenseConfig.total_variation(2e-2)):
+        classifier = DefendedClassifier.build(config, seed=0)
+        classifier.fit(train_set, training)
+
+        # 3. White-box RP2 sticker attack against this model.
+        attack = RP2Attack(classifier.model, attack_config)
+        attack_result = attack.generate(evaluation.images, masks, target_class)
+
+        clean_predictions = classifier.predict(evaluation.images)
+        adversarial_predictions = classifier.predict(attack_result.adversarial_images)
+        results[classifier.name] = {
+            "test_accuracy": classifier.evaluate(test_set),
+            "attack_success_rate": attack_success_rate(clean_predictions, adversarial_predictions),
+            "l2_dissimilarity": l2_dissimilarity(
+                evaluation.images, attack_result.adversarial_images
+            ),
+        }
+
+    # 4. Report.
+    print(f"{'model':<12} {'test acc':>9} {'attack success':>15} {'L2 dissim':>10}")
+    for name, metrics in results.items():
+        print(
+            f"{name:<12} {metrics['test_accuracy']:>9.3f} "
+            f"{metrics['attack_success_rate']:>15.3f} {metrics['l2_dissimilarity']:>10.3f}"
+        )
+    print(
+        "\nThe TV-regularized BlurNet model should show a much lower attack "
+        "success rate than the baseline at a similar test accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""BlurNet: Defense by Filtering the Feature Maps -- full reproduction.
+
+This package reproduces Raju & Lipasti, *BlurNet: Defense by Filtering the
+Feature Maps* (DSN 2020) on a pure-NumPy deep-learning substrate:
+
+* :mod:`repro.nn` -- autodiff tensors, convolution layers, optimizers;
+* :mod:`repro.data` -- a synthetic LISA-like traffic-sign dataset;
+* :mod:`repro.models` -- the LISA-CNN classifier and training loops;
+* :mod:`repro.core` -- the BlurNet defense (blur layers, feature-map
+  regularizers, the :class:`~repro.core.blurnet.DefendedClassifier` API);
+* :mod:`repro.defenses` -- baseline defenses (randomized smoothing, PGD
+  adversarial training);
+* :mod:`repro.attacks` -- RP2, PGD and the adaptive attacks;
+* :mod:`repro.analysis` -- FFT analysis and robustness metrics;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from .core import DefendedClassifier, DefenseConfig, DefenseKind
+
+__version__ = "1.0.0"
+
+__all__ = ["DefendedClassifier", "DefenseConfig", "DefenseKind", "__version__"]

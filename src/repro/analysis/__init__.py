@@ -1,0 +1,39 @@
+"""Frequency-domain analysis and robustness metrics."""
+
+from .feature_maps import (
+    conv_layer_names,
+    extract_feature_maps,
+    feature_map_spectra,
+    feature_map_spectrum_report,
+)
+from .fft import (
+    high_frequency_energy_fraction,
+    log_magnitude_spectrum,
+    normalized_spectrum,
+    radial_profile,
+    spectrum_difference,
+)
+from .metrics import (
+    AttackMetrics,
+    attack_success_rate,
+    compute_attack_metrics,
+    l2_dissimilarity,
+    targeted_success_rate,
+)
+
+__all__ = [
+    "log_magnitude_spectrum",
+    "normalized_spectrum",
+    "radial_profile",
+    "high_frequency_energy_fraction",
+    "spectrum_difference",
+    "conv_layer_names",
+    "extract_feature_maps",
+    "feature_map_spectra",
+    "feature_map_spectrum_report",
+    "attack_success_rate",
+    "targeted_success_rate",
+    "l2_dissimilarity",
+    "AttackMetrics",
+    "compute_attack_metrics",
+]

@@ -1,0 +1,112 @@
+"""Extraction and spectral summaries of intermediate feature maps.
+
+The BlurNet analysis (Section III and the supplementary material) inspects
+the activations of the first and second convolution layers on clean and
+perturbed stop signs.  This module extracts those activations from a
+:class:`~repro.nn.layers.Sequential` model and computes the per-channel
+spectra that Figures 2 and 4 visualize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.layers import Conv2D, Sequential
+from ..nn.tensor import Tensor, no_grad
+from .fft import high_frequency_energy_fraction, log_magnitude_spectrum, spectrum_difference
+
+__all__ = [
+    "conv_layer_names",
+    "extract_feature_maps",
+    "feature_map_spectra",
+    "feature_map_spectrum_report",
+]
+
+
+def conv_layer_names(model: Sequential) -> List[str]:
+    """Names of the convolution layers of ``model`` in execution order."""
+
+    return [layer.name for layer in model.layers if isinstance(layer, Conv2D)]
+
+
+def extract_feature_maps(
+    model: Sequential, images: np.ndarray, layer_name: Optional[str] = None
+) -> np.ndarray:
+    """Return the activations of one layer for a batch of images.
+
+    Parameters
+    ----------
+    model:
+        The classifier.
+    images:
+        ``(N, 3, H, W)`` batch.
+    layer_name:
+        Which layer's activation to return; defaults to the first
+        convolution layer (the feature maps BlurNet filters).
+    """
+
+    if layer_name is None:
+        names = conv_layer_names(model)
+        if not names:
+            raise ValueError("model has no convolution layers")
+        layer_name = names[0]
+    model.eval()
+    with no_grad():
+        _, activations = model.forward_with_activations(Tensor(np.asarray(images)))
+    if layer_name not in activations:
+        raise KeyError(f"layer {layer_name!r} not found; available: {list(activations)}")
+    return activations[layer_name].data
+
+
+def feature_map_spectra(feature_maps: np.ndarray) -> np.ndarray:
+    """Per-channel log-magnitude spectra of a single sample's feature maps.
+
+    Parameters
+    ----------
+    feature_maps:
+        ``(C, H, W)`` activations of one sample.
+
+    Returns
+    -------
+    ``(C, H, W)`` array of log-shifted magnitude spectra.
+    """
+
+    feature_maps = np.asarray(feature_maps, dtype=np.float64)
+    if feature_maps.ndim != 3:
+        raise ValueError("feature_map_spectra expects a (C, H, W) array")
+    return np.stack([log_magnitude_spectrum(channel) for channel in feature_maps])
+
+
+def feature_map_spectrum_report(
+    model: Sequential,
+    clean_image: np.ndarray,
+    perturbed_image: np.ndarray,
+    layer_name: Optional[str] = None,
+    cutoff: float = 0.5,
+) -> Dict[str, float]:
+    """Scalar spectral summary comparing clean vs perturbed feature maps.
+
+    Returns a dictionary with the mean high-frequency energy fraction of the
+    clean feature maps, of the perturbed feature maps, and of their
+    difference map -- the quantities the Figure 2 analysis is based on.
+    """
+
+    clean_maps = extract_feature_maps(model, clean_image[None], layer_name)[0]
+    perturbed_maps = extract_feature_maps(model, perturbed_image[None], layer_name)[0]
+    clean_fraction = float(
+        np.mean([high_frequency_energy_fraction(channel, cutoff) for channel in clean_maps])
+    )
+    perturbed_fraction = float(
+        np.mean([high_frequency_energy_fraction(channel, cutoff) for channel in perturbed_maps])
+    )
+    difference = perturbed_maps - clean_maps
+    difference_fraction = float(
+        np.mean([high_frequency_energy_fraction(channel, cutoff) for channel in difference])
+    )
+    return {
+        "clean_high_frequency_fraction": clean_fraction,
+        "perturbed_high_frequency_fraction": perturbed_fraction,
+        "difference_high_frequency_fraction": difference_fraction,
+    }

@@ -1,0 +1,110 @@
+"""Frequency-domain analysis of images and feature maps (Figures 1, 2, 4).
+
+The paper motivates BlurNet with FFT spectra: the RP2 sticker introduces
+high-frequency artifacts that are invisible in the *input* spectrum
+(Figure 1) but clearly visible in the *first-layer feature-map* spectra
+(Figure 2), and second-layer feature maps are naturally broadband
+(Figure 4).  This module provides the spectrum computations those figures
+are built from, plus scalar summaries (high-frequency energy fraction,
+radial profiles) that the tests and experiment harness assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "log_magnitude_spectrum",
+    "normalized_spectrum",
+    "radial_profile",
+    "high_frequency_energy_fraction",
+    "spectrum_difference",
+]
+
+
+def log_magnitude_spectrum(image: np.ndarray, shift: bool = True) -> np.ndarray:
+    """Log-scaled, center-shifted magnitude spectrum of a 2-D array.
+
+    Matches the paper's presentation: "the spectrum has been log-shifted
+    ... frequencies close to the center correspond to lower frequencies and
+    those near the edges correspond to higher ones".
+    """
+
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("log_magnitude_spectrum expects a single 2-D array")
+    spectrum = np.fft.fft2(image)
+    if shift:
+        spectrum = np.fft.fftshift(spectrum)
+    return np.log1p(np.abs(spectrum))
+
+
+def normalized_spectrum(image: np.ndarray) -> np.ndarray:
+    """Log-magnitude spectrum scaled to ``[0, 1]`` (as displayed in the figures)."""
+
+    spectrum = log_magnitude_spectrum(image)
+    minimum = spectrum.min()
+    maximum = spectrum.max()
+    if maximum - minimum < 1e-12:
+        return np.zeros_like(spectrum)
+    return (spectrum - minimum) / (maximum - minimum)
+
+
+def spectrum_difference(clean: np.ndarray, perturbed: np.ndarray) -> np.ndarray:
+    """Difference between the perturbed and clean log-magnitude spectra.
+
+    This is the third column of Figure 2: where the attack added energy in
+    the frequency domain.
+    """
+
+    return log_magnitude_spectrum(perturbed) - log_magnitude_spectrum(clean)
+
+
+def _radius_grid(shape: Tuple[int, int]) -> np.ndarray:
+    """Normalized radial frequency (0 at DC, 1 at the corner Nyquist)."""
+
+    rows, cols = shape
+    row_frequencies = np.arange(rows) - rows / 2.0
+    col_frequencies = np.arange(cols) - cols / 2.0
+    grid_rows, grid_cols = np.meshgrid(row_frequencies, col_frequencies, indexing="ij")
+    radius = np.sqrt(grid_rows ** 2 + grid_cols ** 2)
+    maximum = radius.max()
+    return radius / maximum if maximum > 0 else radius
+
+
+def radial_profile(image: np.ndarray, num_bins: int = 16) -> np.ndarray:
+    """Radially averaged magnitude spectrum.
+
+    Bins the center-shifted magnitude spectrum by normalized radial
+    frequency and averages within each bin, producing a 1-D profile from DC
+    (bin 0) to the Nyquist corner (last bin).
+    """
+
+    image = np.asarray(image, dtype=np.float64)
+    magnitude = np.abs(np.fft.fftshift(np.fft.fft2(image)))
+    radius = _radius_grid(magnitude.shape)
+    bins = np.minimum((radius * num_bins).astype(int), num_bins - 1)
+    profile = np.zeros(num_bins)
+    for bin_index in range(num_bins):
+        selector = bins == bin_index
+        profile[bin_index] = magnitude[selector].mean() if selector.any() else 0.0
+    return profile
+
+
+def high_frequency_energy_fraction(image: np.ndarray, cutoff: float = 0.5) -> float:
+    """Fraction of spectral energy above a normalized radial frequency cutoff.
+
+    ``cutoff=0.5`` splits the spectrum halfway between DC and the Nyquist
+    corner.  The DC bin is excluded so constant offsets do not dominate.
+    """
+
+    image = np.asarray(image, dtype=np.float64)
+    magnitude = np.abs(np.fft.fftshift(np.fft.fft2(image))) ** 2
+    radius = _radius_grid(magnitude.shape)
+    total = magnitude[radius > 0].sum()
+    if total <= 0:
+        return 0.0
+    high = magnitude[radius > cutoff].sum()
+    return float(high / total)

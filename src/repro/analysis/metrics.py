@@ -1,0 +1,108 @@
+"""Robustness metrics used throughout the evaluation.
+
+Implements the two attacker-success measures defined in Section II.A of the
+paper:
+
+* the **attack success rate**: the fraction of samples whose prediction is
+  altered by the attack, ``mean 1[F(x) != F(x_adv)]``;
+* the **L2 dissimilarity distance**: ``mean ||x - x_adv||_2 / ||x||_2``.
+
+plus the targeted success rate (fraction classified as the attacker's target
+class) that the white-box sweep uses to identify the worst-case target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "attack_success_rate",
+    "targeted_success_rate",
+    "l2_dissimilarity",
+    "AttackMetrics",
+    "compute_attack_metrics",
+]
+
+
+def attack_success_rate(clean_predictions: np.ndarray, adversarial_predictions: np.ndarray) -> float:
+    """Fraction of samples whose prediction was altered by the attack."""
+
+    clean_predictions = np.asarray(clean_predictions).reshape(-1)
+    adversarial_predictions = np.asarray(adversarial_predictions).reshape(-1)
+    if clean_predictions.shape != adversarial_predictions.shape:
+        raise ValueError("prediction arrays must have the same length")
+    return float((clean_predictions != adversarial_predictions).mean())
+
+
+def targeted_success_rate(adversarial_predictions: np.ndarray, target_class: int) -> float:
+    """Fraction of adversarial samples classified as the attacker's target class."""
+
+    adversarial_predictions = np.asarray(adversarial_predictions).reshape(-1)
+    return float((adversarial_predictions == target_class).mean())
+
+
+def l2_dissimilarity(clean_images: np.ndarray, adversarial_images: np.ndarray) -> float:
+    """Mean relative L2 distance ``||x - x_adv||_2 / ||x||_2`` over the batch."""
+
+    clean_images = np.asarray(clean_images, dtype=np.float64)
+    adversarial_images = np.asarray(adversarial_images, dtype=np.float64)
+    if clean_images.shape != adversarial_images.shape:
+        raise ValueError("image arrays must have the same shape")
+    batch = clean_images.shape[0]
+    flat_clean = clean_images.reshape(batch, -1)
+    flat_adversarial = adversarial_images.reshape(batch, -1)
+    numerator = np.linalg.norm(flat_clean - flat_adversarial, axis=1)
+    denominator = np.maximum(np.linalg.norm(flat_clean, axis=1), 1e-12)
+    return float((numerator / denominator).mean())
+
+
+@dataclass
+class AttackMetrics:
+    """Bundle of the metrics reported for one attack run.
+
+    Attributes
+    ----------
+    success_rate:
+        Untargeted success rate (prediction altered).
+    targeted_rate:
+        Fraction of samples pushed into the attacker's target class
+        (``None`` for untargeted attacks).
+    dissimilarity:
+        Mean relative L2 distance between clean and adversarial images.
+    clean_accuracy:
+        Accuracy of the model on the clean evaluation images, when known.
+    """
+
+    success_rate: float
+    targeted_rate: Optional[float]
+    dissimilarity: float
+    clean_accuracy: Optional[float] = None
+
+
+def compute_attack_metrics(
+    clean_images: np.ndarray,
+    adversarial_images: np.ndarray,
+    clean_predictions: np.ndarray,
+    adversarial_predictions: np.ndarray,
+    true_labels: Optional[np.ndarray] = None,
+    target_class: Optional[int] = None,
+) -> AttackMetrics:
+    """Compute the full metric bundle for one attack run."""
+
+    clean_accuracy = None
+    if true_labels is not None:
+        clean_accuracy = float(
+            (np.asarray(clean_predictions).reshape(-1) == np.asarray(true_labels).reshape(-1)).mean()
+        )
+    targeted = None
+    if target_class is not None:
+        targeted = targeted_success_rate(adversarial_predictions, target_class)
+    return AttackMetrics(
+        success_rate=attack_success_rate(clean_predictions, adversarial_predictions),
+        targeted_rate=targeted,
+        dissimilarity=l2_dissimilarity(clean_images, adversarial_images),
+        clean_accuracy=clean_accuracy,
+    )

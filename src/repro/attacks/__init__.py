@@ -1,0 +1,40 @@
+"""Attack algorithms: RP2, PGD, adaptive variants and the transfer harness."""
+
+from .adaptive import DEFAULT_DCT_DIMENSION, low_frequency_rp2, regularizer_aware_rp2
+from .base import Attack, AttackResult
+from .dct import (
+    dct2,
+    dct_matrix,
+    idct2,
+    low_frequency_mask,
+    project_low_frequency,
+    project_low_frequency_array,
+)
+from .nps import PRINTABLE_PALETTE, non_printability_score, non_printability_score_array
+from .pgd import PGDAttack, PGDConfig
+from .rp2 import RP2Attack, RP2Config
+from .transfer import TransferOutcome, evaluate_transfer, run_transfer_attack
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "RP2Attack",
+    "RP2Config",
+    "PGDAttack",
+    "PGDConfig",
+    "low_frequency_rp2",
+    "regularizer_aware_rp2",
+    "DEFAULT_DCT_DIMENSION",
+    "dct_matrix",
+    "dct2",
+    "idct2",
+    "low_frequency_mask",
+    "project_low_frequency",
+    "project_low_frequency_array",
+    "non_printability_score",
+    "non_printability_score_array",
+    "PRINTABLE_PALETTE",
+    "TransferOutcome",
+    "evaluate_transfer",
+    "run_transfer_attack",
+]

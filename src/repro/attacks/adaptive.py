@@ -1,0 +1,84 @@
+"""Adaptive attacks against the BlurNet defenses (Section V).
+
+Following the guidance of Athalye et al. and Tramer et al., every defense is
+also evaluated against an attack that *knows the defense* and adapts its
+objective to it:
+
+* :func:`low_frequency_rp2` -- Eq. (8): against the depthwise-convolution
+  (blur) models, the perturbation is restricted to a low-frequency DCT
+  subspace (``M_dim`` mask, default dimension 16) so the defense's low-pass
+  filter cannot remove it.
+* :func:`regularizer_aware_rp2` -- Eqs. (9)-(11): against the TV and
+  Tikhonov regularized models, the attacker adds the *same* feature-map
+  regularizer the defender trained with to its own loss, producing
+  perturbations whose first-layer activations stay smooth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.regularizers import FeatureMapRegularizer, first_feature_map
+from ..nn.layers import Sequential
+from ..nn.tensor import Tensor
+from .dct import project_low_frequency
+from .rp2 import RP2Attack, RP2Config
+
+__all__ = ["low_frequency_rp2", "regularizer_aware_rp2", "DEFAULT_DCT_DIMENSION"]
+
+#: Default DCT mask dimension of the low-frequency attack (the paper's
+#: default; Figure 3 sweeps this value).
+DEFAULT_DCT_DIMENSION = 16
+
+
+def low_frequency_rp2(
+    model: Sequential,
+    config: Optional[RP2Config] = None,
+    dct_dimension: int = DEFAULT_DCT_DIMENSION,
+) -> RP2Attack:
+    """Build the low-frequency adaptive RP2 attack (Eq. (8)).
+
+    The masked perturbation is round-tripped through the DCT with only the
+    top-left ``dct_dimension x dct_dimension`` coefficients kept, so the
+    optimizer can only express low-frequency perturbations -- exactly the
+    content a depthwise blur layer passes through.
+    """
+
+    def transform(masked_delta: Tensor) -> Tensor:
+        return project_low_frequency(masked_delta, dct_dimension)
+
+    attack = RP2Attack(model, config=config, perturbation_transform=transform)
+    attack.name = f"rp2_lowfreq_dct{dct_dimension}"
+    return attack
+
+
+def regularizer_aware_rp2(
+    model: Sequential,
+    regularizer: FeatureMapRegularizer,
+    config: Optional[RP2Config] = None,
+    attacker_weight: float = 1.0,
+) -> RP2Attack:
+    """Build the regularizer-aware adaptive RP2 attack (Eqs. (9)-(11)).
+
+    Parameters
+    ----------
+    model:
+        The defended classifier.
+    regularizer:
+        The defense's own feature-map regularizer (TV, ``Tik_hf`` or
+        ``Tik_pseudo``); its *unscaled* penalty is added to the attacker
+        loss.  The paper reports that re-weighting this term only weakened
+        the attack, so the default weight is 1.0.
+    attacker_weight:
+        Optional scale on the added term (kept for ablation experiments).
+    """
+
+    def extra_loss(
+        attacked_model: Sequential, adversarial_inputs: Tensor, activations: Dict[str, Tensor]
+    ) -> Tensor:
+        penalty = regularizer.penalty(attacked_model, adversarial_inputs, activations)
+        return penalty * attacker_weight
+
+    attack = RP2Attack(model, config=config, extra_loss=extra_loss)
+    attack.name = f"rp2_adaptive_{regularizer.name}"
+    return attack

@@ -1,0 +1,62 @@
+"""Common attack interfaces and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["AttackResult", "Attack"]
+
+
+@dataclass
+class AttackResult:
+    """Output of one attack run against one model.
+
+    Attributes
+    ----------
+    adversarial_images:
+        ``(N, 3, H, W)`` perturbed images, clipped to ``[0, 1]``.
+    clean_images:
+        The corresponding clean images.
+    perturbation:
+        The raw perturbation produced by the attack.  For RP2 this is the
+        single sign-frame perturbation ``delta`` of shape ``(3, H, W)``; for
+        PGD it is the per-image perturbation of shape ``(N, 3, H, W)``.
+    target_class:
+        The attacker's target class, or ``None`` for untargeted attacks.
+    loss_history:
+        Attack-objective value per optimization step (useful for checking
+        convergence and for debugging adaptive attacks).
+    metadata:
+        Free-form extras recorded by specific attacks (e.g. the DCT mask
+        dimension of the low-frequency attack).
+    """
+
+    adversarial_images: np.ndarray
+    clean_images: np.ndarray
+    perturbation: np.ndarray
+    target_class: Optional[int] = None
+    loss_history: List[float] = field(default_factory=list)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of attacked images."""
+
+        return len(self.adversarial_images)
+
+
+class Attack:
+    """Minimal interface every attack implements.
+
+    Concrete attacks provide a ``generate`` method; its exact signature
+    varies (RP2 needs per-image masks, PGD does not), so this base class
+    only standardizes the result type and a human-readable ``name``.
+    """
+
+    name = "attack"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"

@@ -1,0 +1,120 @@
+"""Differentiable 2-D Discrete Cosine Transform and low-frequency masks.
+
+The low-frequency adaptive attack of Section V.A (Eq. (8)) constrains the
+RP2 perturbation to a low-frequency subspace by round-tripping it through
+the DCT: ``IDCT(M_dim . DCT(M_x . delta))`` where ``M_dim`` keeps only the
+top-left ``dim x dim`` block of DCT coefficients.
+
+The DCT-II is implemented as an orthonormal matrix product so it is exactly
+invertible and fully differentiable on the autodiff tensor (two applications
+of :func:`repro.core.operators.apply_operator`-style matrix contractions).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "dct_matrix",
+    "dct2",
+    "idct2",
+    "low_frequency_mask",
+    "project_low_frequency",
+    "project_low_frequency_array",
+]
+
+
+@lru_cache(maxsize=32)
+def dct_matrix(size: int) -> np.ndarray:
+    """Orthonormal DCT-II matrix ``C`` such that ``X = C x`` transforms a signal.
+
+    ``C @ C.T = I`` so the inverse transform is simply ``C.T``.
+    """
+
+    positions = np.arange(size)
+    frequencies = positions.reshape(-1, 1)
+    matrix = np.cos(np.pi * (2 * positions + 1) * frequencies / (2.0 * size))
+    matrix *= np.sqrt(2.0 / size)
+    matrix[0, :] = 1.0 / np.sqrt(size)
+    return matrix
+
+
+def _spatial_matmul(tensor: Tensor, matrix: np.ndarray, side: str) -> Tensor:
+    """Multiply the spatial dims of an ``(..., H, W)`` tensor by a constant matrix.
+
+    ``side='left'`` computes ``matrix @ x`` over the H dimension;
+    ``side='right'`` computes ``x @ matrix`` over the W dimension.
+    Implemented as a custom autodiff op so the attack can differentiate
+    through the DCT round trip.
+    """
+
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if side == "left":
+        value = np.einsum("ij,...jw->...iw", matrix, tensor.data)
+    else:
+        value = np.einsum("...hj,jw->...hw", tensor.data, matrix)
+
+    def backward(out: Tensor) -> None:
+        if not tensor.requires_grad:
+            return
+        if side == "left":
+            tensor._accumulate(np.einsum("ji,...jw->...iw", matrix, out.grad))
+        else:
+            tensor._accumulate(np.einsum("...hj,wj->...hw", out.grad, matrix))
+
+    return Tensor._make(value, (tensor,), backward, name=f"spatial_matmul_{side}")
+
+
+def dct2(images: Tensor) -> Tensor:
+    """2-D DCT-II of the last two dimensions of a tensor (differentiable)."""
+
+    size_h = images.shape[-2]
+    size_w = images.shape[-1]
+    left = dct_matrix(size_h)
+    right = dct_matrix(size_w)
+    return _spatial_matmul(_spatial_matmul(images, left, "left"), right.T, "right")
+
+
+def idct2(coefficients: Tensor) -> Tensor:
+    """Inverse 2-D DCT (differentiable); exact inverse of :func:`dct2`."""
+
+    size_h = coefficients.shape[-2]
+    size_w = coefficients.shape[-1]
+    left = dct_matrix(size_h)
+    right = dct_matrix(size_w)
+    return _spatial_matmul(_spatial_matmul(coefficients, left.T, "left"), right, "right")
+
+
+def low_frequency_mask(size: int, dim: int) -> np.ndarray:
+    """Binary ``M_dim`` mask keeping the top-left ``dim x dim`` DCT coefficients."""
+
+    if dim < 1:
+        raise ValueError("dim must be at least 1")
+    mask = np.zeros((size, size), dtype=np.float64)
+    mask[: min(dim, size), : min(dim, size)] = 1.0
+    return mask
+
+
+def project_low_frequency(perturbation: Tensor, dim: int) -> Tensor:
+    """Differentiably project a perturbation onto the low-frequency DCT subspace.
+
+    Implements the inner transformation of Eq. (8):
+    ``IDCT(M_dim . DCT(delta))`` applied to the last two dimensions.
+    """
+
+    size = perturbation.shape[-1]
+    mask = low_frequency_mask(size, dim)
+    coefficients = dct2(perturbation)
+    masked = coefficients * Tensor(mask)
+    return idct2(masked)
+
+
+def project_low_frequency_array(perturbation: np.ndarray, dim: int) -> np.ndarray:
+    """Plain-NumPy variant of :func:`project_low_frequency` for analysis code."""
+
+    tensor = Tensor(np.asarray(perturbation, dtype=np.float64))
+    return project_low_frequency(tensor, dim).data

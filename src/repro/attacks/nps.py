@@ -1,0 +1,95 @@
+"""Non-printability score (NPS) term of the RP2 objective.
+
+The RP2 attack fabricates its perturbation as a physical sticker, so the
+optimization penalizes colors that a printer cannot reproduce.  Following
+Sharif et al. (2016), the non-printability score of a perturbation is
+
+``NPS = sum_{p_hat in R(delta)} prod_{p' in P} |p_hat - p'|``
+
+where ``P`` is a palette of printable colors and ``R(delta)`` the set of RGB
+triples used by the perturbation.  The product is zero when a pixel exactly
+matches a printable color and grows as it moves away from every palette
+entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["PRINTABLE_PALETTE", "non_printability_score", "non_printability_score_array"]
+
+#: A small palette of saturated printable colors (black, white, primaries and
+#: secondaries) standing in for the printer calibration palette used by the
+#: original attack code.
+PRINTABLE_PALETTE: np.ndarray = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [1.0, 1.0, 1.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [1.0, 1.0, 0.0],
+        [0.0, 1.0, 1.0],
+        [1.0, 0.0, 1.0],
+    ],
+    dtype=np.float64,
+)
+
+
+def non_printability_score(
+    perturbed_pixels: Tensor,
+    mask: np.ndarray,
+    palette: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Differentiable NPS of the masked region of a batch of images.
+
+    Parameters
+    ----------
+    perturbed_pixels:
+        ``(N, 3, H, W)`` tensor of perturbed images (or of the perturbation
+        added to the printable base colors).
+    mask:
+        Boolean or float ``(N, H, W)`` or ``(H, W)`` mask selecting the
+        sticker region whose colors must be printable.
+    palette:
+        ``(P, 3)`` array of printable RGB colors; defaults to
+        :data:`PRINTABLE_PALETTE`.
+
+    Returns
+    -------
+    A scalar tensor: the mean over masked pixels of the product over palette
+    colors of the squared distance to that color.  (The squared distance is
+    used instead of the absolute distance for smoother gradients; it has the
+    same zero set.)
+    """
+
+    palette = PRINTABLE_PALETTE if palette is None else np.asarray(palette, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.ndim == 2:
+        mask = np.broadcast_to(mask, (perturbed_pixels.shape[0],) + mask.shape)
+    mask_weight = Tensor(mask[:, None, :, :])  # (N, 1, H, W)
+
+    # Product over palette colors of per-pixel squared distances.
+    product: Optional[Tensor] = None
+    for color in palette:
+        color_image = Tensor(color.reshape(1, 3, 1, 1))
+        difference = perturbed_pixels - color_image
+        squared_distance = (difference * difference).sum(axis=1, keepdims=True)  # (N,1,H,W)
+        product = squared_distance if product is None else product * squared_distance
+
+    masked = product * mask_weight
+    normalizer = max(float(mask.sum()), 1.0)
+    return masked.sum() * (1.0 / normalizer)
+
+
+def non_printability_score_array(
+    perturbed_pixels: np.ndarray, mask: np.ndarray, palette: Optional[np.ndarray] = None
+) -> float:
+    """Plain-NumPy NPS for reporting (same definition as the tensor version)."""
+
+    tensor = Tensor(np.asarray(perturbed_pixels, dtype=np.float64))
+    return float(non_printability_score(tensor, mask, palette).item())

@@ -1,0 +1,249 @@
+"""The Robust Physical Perturbations (RP2) attack (Eq. (1) of the paper).
+
+RP2 (Evtimov/Eykholt et al. 2017) finds a *single* physical perturbation
+``delta`` -- a pattern of stickers placed on a stop sign -- that causes a
+road-sign classifier to misclassify the sign across many viewpoints.  The
+optimization objective is
+
+``argmin_delta  lambda * ||M_x . delta||_p  +  NPS  +
+J(f_theta(x_i + T_i(M_x . delta)), y*)``
+
+where ``M_x`` is a binary mask restricting the perturbation to the sign
+(here: to the sticker bands on the sign), ``NPS`` the non-printability
+score, ``T_i`` the alignment of the perturbation onto view ``i`` and ``J``
+the cross-entropy toward the attacker's target class ``y*``.
+
+Reproduction note on ``T_i``: the paper's evaluation images are photographs
+of one physical sign under different viewpoints, and ``T_i`` re-projects the
+sign-frame perturbation into each photograph.  Our synthetic evaluation set
+(:func:`repro.data.evaluation.make_stop_sign_eval_set`) renders mild
+viewpoint warps around a canonical frame, so the reproduction optimizes the
+perturbation directly in image space, shared across all views, and applies
+each view's own sticker mask -- an expectation-over-views ensemble that
+plays the same role as the alignment ensemble in the original attack.  This
+substitution is recorded in DESIGN.md.
+
+The class supports two extension hooks used by the adaptive attacks of
+Section V:
+
+* ``perturbation_transform`` -- a differentiable transform applied to the
+  masked perturbation before it is added to the images (the DCT
+  low-frequency projection of Eq. (8));
+* ``extra_loss`` -- an additional differentiable term computed from the
+  model's activations on the adversarial batch (the regularizer-aware terms
+  of Eqs. (9)-(11)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn.functional import cross_entropy
+from ..nn.layers import Sequential
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from .base import Attack, AttackResult
+from .nps import non_printability_score
+
+__all__ = ["RP2Config", "RP2Attack"]
+
+#: Signature of the ``extra_loss`` hook: (model, adversarial_inputs,
+#: activations) -> scalar Tensor.
+ExtraLossFn = Callable[[Sequential, Tensor, Dict[str, Tensor]], Tensor]
+
+#: Signature of the ``perturbation_transform`` hook: masked perturbation
+#: tensor -> transformed perturbation tensor (same shape).
+PerturbationTransform = Callable[[Tensor], Tensor]
+
+
+@dataclass
+class RP2Config:
+    """Hyper-parameters of the RP2 optimization.
+
+    Attributes
+    ----------
+    lambda_reg:
+        Weight of the perturbation-norm term (``lambda`` in Eq. (1)); the
+        paper's black-box experiment uses 0.002.
+    nps_weight:
+        Weight of the non-printability score term.
+    norm:
+        ``"l1"`` or ``"l2"`` perturbation norm (the paper considers both and
+        reports L2 dissimilarity).
+    steps:
+        Number of optimization steps ("epochs" in the paper's terminology;
+        300 in the paper, fewer in the fast experiment profiles).
+    learning_rate:
+        ADAM step size for the perturbation.
+    clip_images:
+        Whether adversarial images are clipped to ``[0, 1]`` -- both inside
+        the optimization loop (the physical sticker can only realize valid
+        pixel intensities) and for the returned images.
+    seed:
+        Seed for the perturbation initialization.
+    """
+
+    lambda_reg: float = 0.002
+    nps_weight: float = 0.02
+    norm: str = "l2"
+    steps: int = 150
+    learning_rate: float = 0.05
+    clip_images: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.norm not in {"l1", "l2"}:
+            raise ValueError("norm must be 'l1' or 'l2'")
+        if self.steps < 1:
+            raise ValueError("steps must be positive")
+
+
+class RP2Attack(Attack):
+    """Gradient-based implementation of the RP2 sticker attack.
+
+    Parameters
+    ----------
+    model:
+        The victim classifier (white-box access: the attack differentiates
+        through it).
+    config:
+        Optimization hyper-parameters.
+    perturbation_transform:
+        Optional differentiable transform of the masked perturbation
+        (adaptive low-frequency attack).
+    extra_loss:
+        Optional additional loss term computed from the model activations on
+        the adversarial batch (adaptive regularizer-aware attacks).
+    """
+
+    name = "rp2"
+
+    def __init__(
+        self,
+        model: Sequential,
+        config: Optional[RP2Config] = None,
+        perturbation_transform: Optional[PerturbationTransform] = None,
+        extra_loss: Optional[ExtraLossFn] = None,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else RP2Config()
+        self.perturbation_transform = perturbation_transform
+        self.extra_loss = extra_loss
+
+    def _perturbation_norm(self, masked_delta: Tensor) -> Tensor:
+        if self.config.norm == "l1":
+            return masked_delta.abs().sum()
+        return (masked_delta * masked_delta).sum().sqrt()
+
+    def generate(
+        self,
+        images: np.ndarray,
+        masks: np.ndarray,
+        target_class: int,
+    ) -> AttackResult:
+        """Optimize a sticker perturbation against a batch of sign views.
+
+        Parameters
+        ----------
+        images:
+            ``(N, 3, H, W)`` clean views of the victim sign.
+        masks:
+            ``(N, H, W)`` boolean sticker masks (the region the attacker may
+            perturb in each view).
+        target_class:
+            The class ``y*`` the attacker wants the sign classified as.
+
+        Returns
+        -------
+        An :class:`~repro.attacks.base.AttackResult` whose ``perturbation``
+        is the shared ``(3, H, W)`` sign-frame perturbation.
+        """
+
+        images = np.asarray(images, dtype=np.float64)
+        masks = np.asarray(masks, dtype=np.float64)
+        if images.ndim != 4 or masks.ndim != 3:
+            raise ValueError("images must be (N, 3, H, W) and masks (N, H, W)")
+        if len(images) != len(masks):
+            raise ValueError("images and masks must have the same length")
+
+        batch, _, height, width = images.shape
+        rng = np.random.default_rng(self.config.seed)
+        labels = np.full(batch, target_class, dtype=np.int64)
+
+        self.model.eval()
+        clean_inputs = Tensor(images)
+        delta = Tensor(rng.normal(0.0, 0.01, size=(3, height, width)), requires_grad=True)
+        optimizer = Adam([delta], learning_rate=self.config.learning_rate)
+        mask_tensor = Tensor(masks[:, None, :, :])  # (N, 1, H, W)
+
+        # The attack only needs gradients with respect to the perturbation;
+        # freezing the model parameters avoids computing their gradients on
+        # every attack step (they are restored before returning).
+        frozen_flags = [
+            (parameter, parameter.requires_grad) for parameter in self.model.parameters()
+        ]
+        for parameter, _flag in frozen_flags:
+            parameter.requires_grad = False
+
+        def apply_perturbation(delta_tensor: Tensor) -> Tensor:
+            """Masked (and optionally transformed) perturbation for every view."""
+
+            masked = delta_tensor * mask_tensor  # broadcast to (N, 3, H, W)
+            if self.perturbation_transform is not None:
+                # Eq. (8): the applied perturbation is IDCT(M_dim . DCT(M_x . delta)),
+                # i.e. the low-frequency projection of the masked perturbation,
+                # without re-masking afterwards.
+                masked = self.perturbation_transform(masked)
+            return masked
+
+        loss_history = []
+        needs_activations = self.extra_loss is not None
+        for _step in range(self.config.steps):
+            masked_delta = apply_perturbation(delta)
+            adversarial = clean_inputs + masked_delta
+            if self.config.clip_images:
+                adversarial = adversarial.clip(0.0, 1.0)
+
+            if needs_activations:
+                logits, activations = self.model.forward_with_activations(adversarial)
+            else:
+                logits = self.model(adversarial)
+                activations = {}
+
+            classification_loss = cross_entropy(logits, labels)
+            norm_term = self._perturbation_norm(masked_delta) * (
+                self.config.lambda_reg / batch
+            )
+            nps_term = non_printability_score(adversarial, masks) * self.config.nps_weight
+            loss = classification_loss + norm_term + nps_term
+            if self.extra_loss is not None:
+                loss = loss + self.extra_loss(self.model, adversarial, activations)
+
+            self.model.zero_grad()
+            delta.zero_grad()
+            loss.backward()
+            optimizer.step()
+            loss_history.append(float(loss.item()))
+
+        for parameter, flag in frozen_flags:
+            parameter.requires_grad = flag
+
+        from ..nn.tensor import no_grad
+
+        with no_grad():
+            final_masked = apply_perturbation(Tensor(delta.data)).data
+        adversarial_images = images + final_masked
+        if self.config.clip_images:
+            adversarial_images = np.clip(adversarial_images, 0.0, 1.0)
+
+        return AttackResult(
+            adversarial_images=adversarial_images,
+            clean_images=images,
+            perturbation=delta.data.copy(),
+            target_class=target_class,
+            loss_history=loss_history,
+            metadata={"lambda": self.config.lambda_reg, "steps": float(self.config.steps)},
+        )

@@ -1,0 +1,111 @@
+"""Black-box transfer attack harness (Section III.A, Table I).
+
+In the black-box setting the adversary has no access to the defended
+model's parameters.  The paper's Table I experiment generates RP2
+adversarial examples against the *vanilla* (undefended) classifier and
+transfers them, unchanged, to defended variants of the same network (input
+blur or feature-map blur), measuring
+
+* the clean accuracy of each defended model on the unperturbed evaluation
+  set, and
+* the attack success rate of the transferred adversarial examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.metrics import attack_success_rate, l2_dissimilarity
+from ..data.lisa import SignDataset
+from ..models.training import predict_classes
+from ..nn.layers import Sequential
+from .base import AttackResult
+from .rp2 import RP2Attack, RP2Config
+
+__all__ = ["TransferOutcome", "evaluate_transfer", "run_transfer_attack"]
+
+
+@dataclass
+class TransferOutcome:
+    """Result of transferring one set of adversarial examples to one model.
+
+    Attributes
+    ----------
+    model_name:
+        Human-readable identifier of the target model.
+    clean_accuracy:
+        Accuracy of the target model on the clean evaluation images.
+    success_rate:
+        Fraction of evaluation images whose prediction the transferred
+        adversarial examples alter.
+    dissimilarity:
+        L2 dissimilarity of the adversarial examples (identical for every
+        target since the examples are shared).
+    """
+
+    model_name: str
+    clean_accuracy: float
+    success_rate: float
+    dissimilarity: float
+
+
+def evaluate_transfer(
+    target_model: Sequential,
+    model_name: str,
+    evaluation_set: SignDataset,
+    attack_result: AttackResult,
+) -> TransferOutcome:
+    """Measure how well pre-computed adversarial examples transfer to a model."""
+
+    clean_predictions = predict_classes(target_model, evaluation_set.images)
+    adversarial_predictions = predict_classes(target_model, attack_result.adversarial_images)
+    clean_accuracy = float((clean_predictions == evaluation_set.labels).mean())
+    return TransferOutcome(
+        model_name=model_name,
+        clean_accuracy=clean_accuracy,
+        success_rate=attack_success_rate(clean_predictions, adversarial_predictions),
+        dissimilarity=l2_dissimilarity(evaluation_set.images, attack_result.adversarial_images),
+    )
+
+
+def run_transfer_attack(
+    source_model: Sequential,
+    target_models: Dict[str, Sequential],
+    evaluation_set: SignDataset,
+    target_class: int,
+    sticker_masks: np.ndarray,
+    config: Optional[RP2Config] = None,
+) -> List[TransferOutcome]:
+    """Generate RP2 examples on ``source_model`` and transfer them to every target.
+
+    Parameters
+    ----------
+    source_model:
+        The undefended victim network the adversary has white-box access to.
+    target_models:
+        ``{name: model}`` mapping of (defended) models to evaluate.
+    evaluation_set:
+        The stop-sign evaluation views.
+    target_class:
+        The RP2 target class ``y*``.
+    sticker_masks:
+        ``(N, H, W)`` sticker masks for the evaluation views.
+    config:
+        RP2 hyper-parameters (the paper uses ``lambda = 0.002``).
+
+    Returns
+    -------
+    One :class:`TransferOutcome` per target model, in dictionary order, with
+    the source model's own outcome prepended under the name ``"source"``.
+    """
+
+    attack = RP2Attack(source_model, config=config)
+    result = attack.generate(evaluation_set.images, sticker_masks, target_class)
+
+    outcomes = [evaluate_transfer(source_model, "source", evaluation_set, result)]
+    for name, model in target_models.items():
+        outcomes.append(evaluate_transfer(model, name, evaluation_set, result))
+    return outcomes

@@ -1,0 +1,57 @@
+"""BlurNet defense: blur layers, feature-map regularizers and the public API."""
+
+from .blur_kernels import (
+    apply_kernel_to_images,
+    blur_images,
+    box_kernel,
+    depthwise_kernel_stack,
+    gaussian_kernel,
+)
+from .blurnet import DefendedClassifier
+from .config import DefenseConfig, DefenseKind, table1_variants, table2_variants
+from .filter_layer import FeatureMapBlur, InputBlur, insert_feature_blur, prepend_input_blur
+from .operators import (
+    apply_operator,
+    difference_matrix,
+    high_frequency_operator,
+    moving_average_matrix,
+    operator_frequency_response,
+    pseudoinverse_smoothing_operator,
+)
+from .regularizers import (
+    FeatureMapRegularizer,
+    LinfDepthwiseRegularizer,
+    NullRegularizer,
+    TikhonovRegularizer,
+    TotalVariationRegularizer,
+    first_feature_map,
+)
+
+__all__ = [
+    "DefendedClassifier",
+    "DefenseConfig",
+    "DefenseKind",
+    "table1_variants",
+    "table2_variants",
+    "box_kernel",
+    "gaussian_kernel",
+    "depthwise_kernel_stack",
+    "apply_kernel_to_images",
+    "blur_images",
+    "InputBlur",
+    "FeatureMapBlur",
+    "insert_feature_blur",
+    "prepend_input_blur",
+    "moving_average_matrix",
+    "high_frequency_operator",
+    "difference_matrix",
+    "pseudoinverse_smoothing_operator",
+    "apply_operator",
+    "operator_frequency_response",
+    "FeatureMapRegularizer",
+    "NullRegularizer",
+    "LinfDepthwiseRegularizer",
+    "TotalVariationRegularizer",
+    "TikhonovRegularizer",
+    "first_feature_map",
+]

@@ -1,0 +1,105 @@
+"""Standard low-pass blur kernels used by the BlurNet filter layer.
+
+The motivating experiment in Section III of the paper inserts a depthwise
+convolution of "standard blur kernels" after the first layer.  This module
+provides the kernels (uniform box blur and Gaussian blur), utilities to tile
+them across channels, and a plain-NumPy application helper used for input
+filtering and for the spectral analysis figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "box_kernel",
+    "gaussian_kernel",
+    "depthwise_kernel_stack",
+    "apply_kernel_to_images",
+    "blur_images",
+]
+
+
+def box_kernel(size: int) -> np.ndarray:
+    """Uniform (moving average) blur kernel of shape ``(size, size)``.
+
+    Every tap is ``1 / size**2`` so the kernel preserves the mean value of
+    its input -- the "standard blur kernel" of the paper's Section III.
+    """
+
+    if size < 1 or size % 2 == 0:
+        raise ValueError("kernel size must be a positive odd integer")
+    return np.full((size, size), 1.0 / (size * size), dtype=np.float64)
+
+
+def gaussian_kernel(size: int, sigma: Optional[float] = None) -> np.ndarray:
+    """Normalized 2-D Gaussian kernel of shape ``(size, size)``.
+
+    Parameters
+    ----------
+    size:
+        Odd kernel width.
+    sigma:
+        Standard deviation; defaults to ``size / 3`` which puts most of the
+        mass inside the kernel support.
+    """
+
+    if size < 1 or size % 2 == 0:
+        raise ValueError("kernel size must be a positive odd integer")
+    sigma = sigma if sigma is not None else size / 3.0
+    half = size // 2
+    coordinates = np.arange(-half, half + 1, dtype=np.float64)
+    rows, cols = np.meshgrid(coordinates, coordinates, indexing="ij")
+    kernel = np.exp(-(rows ** 2 + cols ** 2) / (2.0 * sigma ** 2))
+    return kernel / kernel.sum()
+
+
+def depthwise_kernel_stack(kernel: np.ndarray, channels: int) -> np.ndarray:
+    """Tile a 2-D kernel into ``(channels, K, K)`` depthwise weights."""
+
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
+        raise ValueError("kernel must be a square 2-D array")
+    return np.broadcast_to(kernel, (channels,) + kernel.shape).copy()
+
+
+def apply_kernel_to_images(images: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Convolve every channel of a batch of images with a 2-D kernel.
+
+    Parameters
+    ----------
+    images:
+        ``(N, C, H, W)`` or ``(C, H, W)`` array.
+    kernel:
+        2-D filter applied with "same" (reflect-free, zero) padding.
+    """
+
+    images = np.asarray(images, dtype=np.float64)
+    squeeze = False
+    if images.ndim == 3:
+        images = images[None]
+        squeeze = True
+    if images.ndim != 4:
+        raise ValueError("images must have shape (N, C, H, W) or (C, H, W)")
+    filtered = np.empty_like(images)
+    for sample in range(images.shape[0]):
+        for channel in range(images.shape[1]):
+            filtered[sample, channel] = ndimage.convolve(
+                images[sample, channel], kernel, mode="constant", cval=0.0
+            )
+    return filtered[0] if squeeze else filtered
+
+
+def blur_images(images: np.ndarray, kernel_size: int, kind: str = "box") -> np.ndarray:
+    """Blur a batch of images with a box or Gaussian kernel of ``kernel_size``."""
+
+    if kind == "box":
+        kernel = box_kernel(kernel_size)
+    elif kind == "gaussian":
+        kernel = gaussian_kernel(kernel_size)
+    else:
+        raise ValueError(f"unknown blur kind {kind!r}; expected 'box' or 'gaussian'")
+    return apply_kernel_to_images(images, kernel)

@@ -1,0 +1,183 @@
+"""High-level BlurNet defense API.
+
+:class:`DefendedClassifier` is the public entry point of the library: it
+bundles a (possibly defense-augmented) LISA-CNN, the feature-map regularizer
+it is trained with, and any prediction-time smoothing, behind a single
+build / fit / predict / evaluate interface.
+
+Typical usage::
+
+    from repro.core import DefenseConfig, DefendedClassifier
+    from repro.data import make_dataset, train_test_split
+
+    dataset = make_dataset(600, seed=0)
+    train_set, test_set = train_test_split(dataset)
+
+    defense = DefendedClassifier.build(DefenseConfig.total_variation(1e-4), seed=0)
+    defense.fit(train_set)
+    print("clean accuracy:", defense.evaluate(test_set))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..data.lisa import SignDataset
+from ..nn.layers import Sequential
+from .config import DefenseConfig, DefenseKind
+from .regularizers import (
+    FeatureMapRegularizer,
+    LinfDepthwiseRegularizer,
+    NullRegularizer,
+    TikhonovRegularizer,
+    TotalVariationRegularizer,
+)
+
+__all__ = ["DefendedClassifier"]
+
+
+@dataclass
+class _TrainingOutcome:
+    """Book-keeping of the last :meth:`DefendedClassifier.fit` call."""
+
+    final_train_accuracy: float
+    epochs: int
+
+
+class DefendedClassifier:
+    """A LISA-CNN classifier plus the BlurNet defense described by a config.
+
+    Instances are usually created with :meth:`build`, trained with
+    :meth:`fit` and evaluated with :meth:`predict` / :meth:`evaluate`.  The
+    underlying :class:`~repro.nn.layers.Sequential` model is available as
+    ``self.model`` for attack code that needs white-box access, and the
+    regularizer used during training as ``self.regularizer`` (which adaptive
+    attacks reuse in their own objective).
+    """
+
+    def __init__(
+        self,
+        config: DefenseConfig,
+        model: Sequential,
+        regularizer: FeatureMapRegularizer,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.model = model
+        self.regularizer = regularizer
+        self.seed = seed
+        self.smoother = None  # installed lazily for randomized smoothing
+        self.last_training: Optional[_TrainingOutcome] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(config: DefenseConfig, seed: int = 0, image_size: int = 32) -> "DefendedClassifier":
+        """Construct the classifier architecture and regularizer for ``config``."""
+
+        from ..models.lisa_cnn import LisaCNNConfig, build_lisa_cnn
+
+        architecture = LisaCNNConfig(image_size=image_size, seed=seed)
+        if config.kind == DefenseKind.INPUT_BLUR:
+            architecture.input_blur_kernel = config.kernel_size
+        elif config.kind == DefenseKind.FEATURE_BLUR:
+            architecture.feature_blur_kernel = config.kernel_size
+        elif config.kind == DefenseKind.DEPTHWISE_LINF:
+            architecture.depthwise_kernel = config.kernel_size
+
+        model = build_lisa_cnn(architecture)
+
+        regularizer: FeatureMapRegularizer
+        if config.kind == DefenseKind.DEPTHWISE_LINF:
+            regularizer = LinfDepthwiseRegularizer(config.alpha)
+        elif config.kind == DefenseKind.TOTAL_VARIATION:
+            regularizer = TotalVariationRegularizer(config.alpha)
+        elif config.kind == DefenseKind.TIKHONOV_HF:
+            regularizer = TikhonovRegularizer(config.alpha, operator="hf", window=config.tikhonov_window)
+        elif config.kind == DefenseKind.TIKHONOV_PSEUDO:
+            regularizer = TikhonovRegularizer(config.alpha, operator="pseudo")
+        else:
+            regularizer = NullRegularizer()
+
+        return DefendedClassifier(config=config, model=model, regularizer=regularizer, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, train_set: SignDataset, training_config=None) -> "DefendedClassifier":
+        """Train the defended classifier on ``train_set``.
+
+        Gaussian augmentation, randomized smoothing and adversarial training
+        are wired automatically from the defense configuration; everything
+        else reduces to the standard trainer with the defense's regularizer.
+        """
+
+        from ..models.training import TrainingConfig, train_classifier
+
+        training_config = training_config if training_config is not None else TrainingConfig()
+        if self.config.kind in {DefenseKind.GAUSSIAN_AUGMENTATION, DefenseKind.RANDOMIZED_SMOOTHING}:
+            training_config.gaussian_sigma = self.config.sigma
+
+        if self.config.kind == DefenseKind.ADVERSARIAL_TRAINING:
+            from ..defenses.adversarial_training import adversarial_train
+
+            history = adversarial_train(
+                self.model, train_set, training_config=training_config, regularizer=self.regularizer
+            )
+        else:
+            history = train_classifier(
+                self.model, train_set, config=training_config, regularizer=self.regularizer
+            )
+
+        if self.config.kind == DefenseKind.RANDOMIZED_SMOOTHING:
+            from ..defenses.randomized_smoothing import SmoothedClassifier
+
+            self.smoother = SmoothedClassifier(
+                self.model,
+                sigma=self.config.sigma,
+                num_samples=self.config.smoothing_samples,
+                seed=self.seed,
+            )
+
+        self.last_training = _TrainingOutcome(
+            final_train_accuracy=history.final_accuracy(), epochs=training_config.epochs
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions, applying the randomized-smoothing vote when configured."""
+
+        if self.smoother is not None:
+            return self.smoother.predict(images)
+        from ..models.training import predict_classes
+
+        return predict_classes(self.model, images)
+
+    def predict_logits(self, images: np.ndarray) -> np.ndarray:
+        """Raw logits of the underlying model (no smoothing)."""
+
+        from ..models.training import predict_logits
+
+        return predict_logits(self.model, images)
+
+    def evaluate(self, dataset: SignDataset) -> float:
+        """Accuracy of the defense on a labelled dataset."""
+
+        predictions = self.predict(dataset.images)
+        return float((predictions == dataset.labels).mean())
+
+    @property
+    def name(self) -> str:
+        """Row label of this defense variant."""
+
+        return self.config.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DefendedClassifier(name={self.name!r}, kind={self.config.kind!r})"

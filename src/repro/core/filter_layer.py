@@ -1,0 +1,136 @@
+"""Fixed blur filtering layers: the Section III BlurNet construction.
+
+Two filtering placements are compared in the paper's black-box experiment
+(Table I):
+
+* :class:`InputBlur` -- blur the *input image* before the network sees it
+  (the conventional "spatial smoothing" defense the paper argues against);
+* :class:`FeatureMapBlur` -- a depthwise convolution of standard blur
+  kernels applied to the *first-layer feature maps* (the BlurNet proposal).
+
+Both are implemented as :class:`~repro.nn.layers.Layer` subclasses so they
+can be spliced into a :class:`~repro.nn.layers.Sequential` classifier, and
+both are fully differentiable: white-box and adaptive attackers can
+backpropagate through them, as required for a faithful evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.conv import depthwise_conv2d
+from ..nn.layers import Layer, Sequential
+from ..nn.tensor import Tensor
+from .blur_kernels import box_kernel, depthwise_kernel_stack, gaussian_kernel
+
+__all__ = ["InputBlur", "FeatureMapBlur", "insert_feature_blur", "prepend_input_blur"]
+
+
+class _FixedDepthwiseBlur(Layer):
+    """Shared implementation: a frozen depthwise blur over ``channels`` maps."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        kind: str = "box",
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.kind = kind
+        if kind == "box":
+            kernel = box_kernel(kernel_size)
+        elif kind == "gaussian":
+            kernel = gaussian_kernel(kernel_size)
+        else:
+            raise ValueError(f"unknown blur kind {kind!r}; expected 'box' or 'gaussian'")
+        weights = depthwise_kernel_stack(kernel, channels)
+        # The blur taps are constants: they participate in the forward and
+        # backward pass (attackers can differentiate through them) but are
+        # never updated by an optimizer.
+        self.weight = self.add_parameter("weight", Tensor(weights, requires_grad=False))
+        self.padding = kernel_size // 2
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return depthwise_conv2d(inputs, self.weight, bias=None, stride=1, padding=self.padding)
+
+
+class InputBlur(_FixedDepthwiseBlur):
+    """Blur the RGB input image with a fixed low-pass kernel.
+
+    This is the baseline "filter the input" defense of Table I (3x3 and 5x5
+    variants).  It operates on the 3 color channels.
+    """
+
+    def __init__(self, kernel_size: int, kind: str = "box", name: Optional[str] = None) -> None:
+        super().__init__(channels=3, kernel_size=kernel_size, kind=kind, name=name or "input_blur")
+
+
+class FeatureMapBlur(_FixedDepthwiseBlur):
+    """Blur first-layer feature maps with a fixed depthwise low-pass kernel.
+
+    This is the BlurNet construction of Section III: a depthwise convolution
+    of standard blur kernels inserted after the first convolution layer, so
+    each channel of the feature map is smoothed independently and isolated
+    high-frequency spikes caused by adversarial stickers are attenuated.
+    """
+
+    def __init__(
+        self, channels: int, kernel_size: int, kind: str = "box", name: Optional[str] = None
+    ) -> None:
+        super().__init__(
+            channels=channels, kernel_size=kernel_size, kind=kind, name=name or "feature_blur"
+        )
+
+
+def prepend_input_blur(model: Sequential, kernel_size: int, kind: str = "box") -> Sequential:
+    """Return a new model with an :class:`InputBlur` in front of ``model``.
+
+    The original model's layers are shared (not copied), matching the
+    paper's black-box transfer setting where the defended model reuses the
+    victim network's weights.
+    """
+
+    return Sequential([InputBlur(kernel_size, kind=kind)] + list(model.layers), name=f"{model.name}_inputblur{kernel_size}")
+
+
+def insert_feature_blur(
+    model: Sequential,
+    kernel_size: int,
+    after_layer_index: int = 0,
+    channels: Optional[int] = None,
+    kind: str = "box",
+) -> Sequential:
+    """Return a new model with a :class:`FeatureMapBlur` spliced after a layer.
+
+    Parameters
+    ----------
+    model:
+        The victim classifier (layers are shared, not copied).
+    kernel_size:
+        Blur kernel width (3 or 5 in Table I).
+    after_layer_index:
+        Index of the layer whose output is filtered; defaults to the first
+        layer, matching the paper ("we focus exclusively on the feature maps
+        after the first layer").
+    channels:
+        Number of feature-map channels; inferred from the convolution layer
+        at ``after_layer_index`` when omitted.
+    """
+
+    target_layer = model.layers[after_layer_index]
+    if channels is None:
+        channels = getattr(target_layer, "out_channels", None)
+        if channels is None:
+            raise ValueError(
+                "could not infer channel count; pass channels= explicitly for "
+                f"layer {target_layer.name!r}"
+            )
+    blur = FeatureMapBlur(channels=channels, kernel_size=kernel_size, kind=kind)
+    layers = list(model.layers)
+    layers.insert(after_layer_index + 1, blur)
+    return Sequential(layers, name=f"{model.name}_featureblur{kernel_size}")

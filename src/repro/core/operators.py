@@ -1,0 +1,145 @@
+"""Tikhonov regularization operators (Section IV.C of the paper).
+
+The paper borrows two "square smoothing regularization operators" from
+Reichel & Ye (2009) and applies them to the first-layer feature maps:
+
+* ``L_hf = I - L_avg`` where ``L_avg`` maps a signal to its moving average.
+  ``L_hf`` therefore extracts the *high-frequency* content of the feature
+  map, and minimizing ``||L_hf . F||^2`` suppresses it (the ``Tik_hf``
+  defense).
+* ``L_diff`` is a difference matrix approximating a derivative; its
+  pseudoinverse ``L_diff^+`` approximates an integral and is a low-pass
+  (smoothing) operator.  The paper minimizes ``||L_diff^+ . F||^2``
+  (the ``Tik_pseudo`` defense).
+
+The operators are 1-D ``n x n`` matrices applied along the row dimension of
+each ``H x W`` feature map via a matrix product, which is the standard
+generalized-Tikhonov form ``||L w||``.  :func:`apply_operator` implements
+the differentiable application to a batched ``(N, C, H, W)`` activation
+tensor.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "moving_average_matrix",
+    "high_frequency_operator",
+    "difference_matrix",
+    "pseudoinverse_smoothing_operator",
+    "apply_operator",
+    "operator_frequency_response",
+]
+
+
+def moving_average_matrix(size: int, window: int = 3) -> np.ndarray:
+    """The ``L_avg`` matrix: row ``i`` averages a window centered at ``i``.
+
+    Windows are clipped at the boundaries and re-normalized so every row
+    sums to one (the matrix preserves constants).
+    """
+
+    if window < 1 or window % 2 == 0:
+        raise ValueError("window must be a positive odd integer")
+    half = window // 2
+    matrix = np.zeros((size, size), dtype=np.float64)
+    for row in range(size):
+        start = max(0, row - half)
+        stop = min(size, row + half + 1)
+        matrix[row, start:stop] = 1.0 / (stop - start)
+    return matrix
+
+
+def high_frequency_operator(size: int, window: int = 3) -> np.ndarray:
+    """The ``L_hf = I - L_avg`` operator that extracts high-frequency content."""
+
+    return np.eye(size) - moving_average_matrix(size, window)
+
+
+def difference_matrix(size: int) -> np.ndarray:
+    """Forward-difference matrix ``L_diff`` approximating a derivative.
+
+    ``(L_diff x)[i] = x[i+1] - x[i]`` for ``i < size - 1``; the final row is
+    zero, keeping the matrix square as in the "square smoothing operators"
+    of Reichel & Ye.
+    """
+
+    matrix = np.zeros((size, size), dtype=np.float64)
+    for row in range(size - 1):
+        matrix[row, row] = -1.0
+        matrix[row, row + 1] = 1.0
+    return matrix
+
+
+@lru_cache(maxsize=32)
+def _cached_pseudoinverse(size: int) -> np.ndarray:
+    return np.linalg.pinv(difference_matrix(size))
+
+
+def pseudoinverse_smoothing_operator(size: int) -> np.ndarray:
+    """``L_diff^+``: the Moore-Penrose pseudoinverse of the difference matrix.
+
+    Because the difference matrix approximates a derivative, its
+    pseudoinverse approximates an integral and therefore acts as a low-pass
+    (smoothing) operator.
+    """
+
+    return _cached_pseudoinverse(size).copy()
+
+
+def apply_operator(feature_maps: Tensor, operator: np.ndarray) -> Tensor:
+    """Differentiably apply an ``H x H`` operator to ``(N, C, H, W)`` feature maps.
+
+    Computes ``out[n, c] = operator @ feature_maps[n, c]`` for every sample
+    and channel.  The operator itself is a constant (no gradient flows into
+    it), but gradients flow back into the feature maps, which is what both
+    the defense training loop and the adaptive attacker need.
+    """
+
+    operator = np.asarray(operator, dtype=np.float64)
+    if feature_maps.ndim != 4:
+        raise ValueError("apply_operator expects an (N, C, H, W) tensor")
+    height = feature_maps.shape[2]
+    if operator.shape != (height, height):
+        raise ValueError(
+            f"operator shape {operator.shape} does not match feature-map height {height}"
+        )
+
+    value = np.einsum("ij,ncjw->nciw", operator, feature_maps.data)
+
+    def backward(out: Tensor) -> None:
+        if feature_maps.requires_grad:
+            feature_maps._accumulate(np.einsum("ji,ncjw->nciw", operator, out.grad))
+
+    return Tensor._make(value, (feature_maps,), backward, name="apply_operator")
+
+
+def operator_frequency_response(operator: np.ndarray) -> np.ndarray:
+    """Magnitude response of a 1-D operator against sampled sinusoids.
+
+    Used by the analysis module and tests to verify that ``L_hf`` is a
+    high-pass operator and ``L_diff^+`` is a low-pass operator: the response
+    at frequency ``k`` is ``||L s_k|| / ||s_k||`` for a sinusoid ``s_k`` of
+    ``k`` cycles across the support.
+
+    Returns an array of length ``size // 2`` (one entry per frequency from 1
+    cycle up to Nyquist).
+    """
+
+    size = operator.shape[0]
+    positions = np.arange(size)
+    responses = []
+    for cycles in range(1, size // 2 + 1):
+        sinusoid = np.sin(2.0 * np.pi * cycles * positions / size)
+        norm = np.linalg.norm(sinusoid)
+        if norm == 0:
+            responses.append(0.0)
+            continue
+        responses.append(float(np.linalg.norm(operator @ sinusoid) / norm))
+    return np.asarray(responses)

@@ -1,0 +1,206 @@
+"""Training-time regularizers that induce low-pass filtering (Section IV).
+
+The paper proposes three regularization schemes so the network *learns* the
+low-pass filtering behaviour instead of having it hard-wired as a frozen
+blur layer:
+
+* :class:`LinfDepthwiseRegularizer` -- Eq. (2): an L-infinity penalty on the
+  weights of an added (trainable) depthwise convolution layer, which pushes
+  the taps of each kernel toward equal values, i.e. toward a moving-average
+  low-pass filter.
+* :class:`TotalVariationRegularizer` -- Eq. (4): the anisotropic total
+  variation of the first-layer feature maps, averaged over batch and
+  channels.  No extra layer is added; the first convolution itself learns to
+  suppress high-frequency spikes.
+* :class:`TikhonovRegularizer` -- Eqs. (6) and (7): generalized Tikhonov
+  penalties ``||L . F||^2`` on the first-layer feature maps with either the
+  high-frequency-extracting operator ``L_hf`` (``Tik_hf``) or the
+  pseudoinverse smoothing operator ``L_diff^+`` (``Tik_pseudo``).
+
+Every regularizer implements the :class:`FeatureMapRegularizer` interface:
+``penalty(model, inputs, activations)`` returns a scalar autodiff tensor
+which the training loop adds (scaled by ``alpha``) to the cross-entropy
+loss, and which the adaptive attacker adds to its own objective
+(Eqs. (9)-(11)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.functional import linf_norm, total_variation_2d
+from ..nn.layers import DepthwiseConv2D, Sequential
+from ..nn.tensor import Tensor
+from .operators import apply_operator, high_frequency_operator, pseudoinverse_smoothing_operator
+
+__all__ = [
+    "FeatureMapRegularizer",
+    "NullRegularizer",
+    "LinfDepthwiseRegularizer",
+    "TotalVariationRegularizer",
+    "TikhonovRegularizer",
+    "first_feature_map",
+]
+
+
+def first_feature_map(model: Sequential, activations: Dict[str, Tensor]) -> Tensor:
+    """Return the first-layer feature maps of the model.
+
+    ``activations`` is the mapping produced by
+    :meth:`repro.nn.layers.Sequential.forward_with_activations`.  "The
+    feature maps after the first layer" in the paper's terminology are the
+    output of the first *convolution* layer, so any frozen input-blur layer
+    sitting in front of it is skipped.
+    """
+
+    from ..nn.layers import Conv2D
+
+    for layer in model.layers:
+        if isinstance(layer, Conv2D):
+            return activations[layer.name]
+    # Fall back to the very first activation for non-convolutional models.
+    first_layer_name = model.layers[0].name
+    return activations[first_layer_name]
+
+
+class FeatureMapRegularizer:
+    """Interface for loss terms computed from a model's activations.
+
+    Attributes
+    ----------
+    alpha:
+        Regularization strength; the training loop minimizes
+        ``cross_entropy + alpha * penalty``.
+    """
+
+    name = "regularizer"
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = float(alpha)
+
+    def penalty(
+        self,
+        model: Sequential,
+        inputs: Tensor,
+        activations: Dict[str, Tensor],
+    ) -> Tensor:
+        """Return the (unscaled) penalty as a scalar tensor."""
+
+        raise NotImplementedError
+
+    def scaled_penalty(
+        self,
+        model: Sequential,
+        inputs: Tensor,
+        activations: Dict[str, Tensor],
+    ) -> Tensor:
+        """Return ``alpha * penalty`` ready to be added to the training loss."""
+
+        return self.penalty(model, inputs, activations) * self.alpha
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(alpha={self.alpha})"
+
+
+class NullRegularizer(FeatureMapRegularizer):
+    """No-op regularizer used for the undefended baseline classifier."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        super().__init__(alpha=0.0)
+
+    def penalty(self, model: Sequential, inputs: Tensor, activations: Dict[str, Tensor]) -> Tensor:
+        return Tensor(0.0)
+
+
+class LinfDepthwiseRegularizer(FeatureMapRegularizer):
+    """Eq. (2): L-infinity norm of every depthwise filter's weights.
+
+    The penalty is ``sum_j ||W_depthwise[:, :, j]||_inf`` over the channels
+    of the (trainable) depthwise convolution layer that follows the first
+    convolution.  Penalizing the largest tap pushes all taps toward similar
+    magnitudes, so the learned kernel behaves like a low-pass filter.
+    """
+
+    name = "linf_depthwise"
+
+    def __init__(self, alpha: float) -> None:
+        super().__init__(alpha)
+
+    @staticmethod
+    def find_depthwise_layer(model: Sequential) -> DepthwiseConv2D:
+        """Locate the trainable depthwise layer this regularizer penalizes."""
+
+        for layer in model.layers:
+            if isinstance(layer, DepthwiseConv2D) and layer.trainable:
+                return layer
+        raise ValueError(
+            "LinfDepthwiseRegularizer requires the model to contain a trainable "
+            "DepthwiseConv2D layer"
+        )
+
+    def penalty(self, model: Sequential, inputs: Tensor, activations: Dict[str, Tensor]) -> Tensor:
+        layer = self.find_depthwise_layer(model)
+        channel_norms = [linf_norm(layer.weight[channel]) for channel in range(layer.channels)]
+        total = channel_norms[0]
+        for channel_norm in channel_norms[1:]:
+            total = total + channel_norm
+        return total
+
+
+class TotalVariationRegularizer(FeatureMapRegularizer):
+    """Eq. (4): total variation of the first-layer feature maps.
+
+    ``penalty = (1 / (N * K)) * sum_{i, k} TV(F[i, :, :, k])`` where ``F``
+    is the first-layer activation of the current batch.
+    """
+
+    name = "tv"
+
+    def penalty(self, model: Sequential, inputs: Tensor, activations: Dict[str, Tensor]) -> Tensor:
+        feature_maps = first_feature_map(model, activations)
+        return total_variation_2d(feature_maps)
+
+
+class TikhonovRegularizer(FeatureMapRegularizer):
+    """Eqs. (6)/(7): generalized Tikhonov penalty on first-layer feature maps.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength.
+    operator:
+        ``"hf"`` selects ``L_hf = I - L_avg`` (the ``Tik_hf`` defense);
+        ``"pseudo"`` selects ``L_diff^+`` (the ``Tik_pseudo`` defense).
+    window:
+        Moving-average window of ``L_avg`` (only used by ``"hf"``).  The
+        paper notes that widening this window filters more aggressively.
+    """
+
+    def __init__(self, alpha: float, operator: str = "hf", window: int = 3) -> None:
+        super().__init__(alpha)
+        if operator not in {"hf", "pseudo"}:
+            raise ValueError("operator must be 'hf' or 'pseudo'")
+        self.operator_kind = operator
+        self.window = window
+        self.name = f"tik_{operator}"
+        self._operator_cache: Dict[int, np.ndarray] = {}
+
+    def _operator_for(self, height: int) -> np.ndarray:
+        if height not in self._operator_cache:
+            if self.operator_kind == "hf":
+                self._operator_cache[height] = high_frequency_operator(height, self.window)
+            else:
+                self._operator_cache[height] = pseudoinverse_smoothing_operator(height)
+        return self._operator_cache[height]
+
+    def penalty(self, model: Sequential, inputs: Tensor, activations: Dict[str, Tensor]) -> Tensor:
+        feature_maps = first_feature_map(model, activations)
+        batch, channels, height, _ = feature_maps.shape
+        operator = self._operator_for(height)
+        transformed = apply_operator(feature_maps, operator)
+        # ||L . F||^2 averaged over batch and channels (the 1/(N*K) factor).
+        return (transformed * transformed).sum() * (1.0 / (batch * channels))

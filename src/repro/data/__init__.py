@@ -1,0 +1,60 @@
+"""Synthetic LISA-like traffic-sign dataset.
+
+Substitutes the LISA photographs used in the paper with procedurally
+rendered signs (18 classes, class imbalance, viewpoint and photometric
+variation) plus the 40-view stop-sign evaluation set and RP2 sticker masks.
+"""
+
+from .evaluation import (
+    STICKER_BAND_FRACTIONS,
+    make_eval_set_for_class,
+    make_stop_sign_eval_set,
+    sticker_mask,
+)
+from .lisa import SignDataset, class_distribution, make_dataset, train_test_split
+from .loaders import BatchIterator, iterate_batches
+from .signs import (
+    LISA_CLASS_FREQUENCIES,
+    NUM_CLASSES,
+    SIGN_CLASSES,
+    class_index,
+    class_name,
+    render_canonical,
+    render_sign,
+)
+from .transforms import (
+    ViewParameters,
+    augment_view,
+    composite_on_background,
+    gaussian_noise,
+    photometric_jitter,
+    smooth_background,
+    viewpoint_transform,
+)
+
+__all__ = [
+    "SignDataset",
+    "make_dataset",
+    "train_test_split",
+    "class_distribution",
+    "BatchIterator",
+    "iterate_batches",
+    "SIGN_CLASSES",
+    "NUM_CLASSES",
+    "LISA_CLASS_FREQUENCIES",
+    "class_index",
+    "class_name",
+    "render_canonical",
+    "render_sign",
+    "ViewParameters",
+    "viewpoint_transform",
+    "photometric_jitter",
+    "smooth_background",
+    "augment_view",
+    "composite_on_background",
+    "gaussian_noise",
+    "make_stop_sign_eval_set",
+    "make_eval_set_for_class",
+    "sticker_mask",
+    "STICKER_BAND_FRACTIONS",
+]

@@ -1,0 +1,118 @@
+"""Attack-evaluation sets: the 40 stop-sign views and sticker masks.
+
+The paper evaluates every defense "based on a sample set of 40 stop sign
+images provided by [the RP2 authors] in their github repo" -- photographs of
+the same physical stop sign taken from different distances and viewing
+angles.  This module builds the synthetic equivalent: a deterministic grid
+of 40 viewpoints (5 distances x 8 angles) of the canonical stop sign, each
+with its warped sign mask.
+
+It also provides the *sticker masks* used by the RP2 attack: the published
+attack places two black/white rectangular stickers across the upper and
+lower half of the sign face, so :func:`sticker_mask` carves two horizontal
+bands out of the sign region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .lisa import SignDataset
+from .signs import SIGN_CLASSES, class_index, render_canonical
+from .transforms import ViewParameters, composite_on_background, photometric_jitter, smooth_background, viewpoint_transform
+
+__all__ = [
+    "make_stop_sign_eval_set",
+    "make_eval_set_for_class",
+    "sticker_mask",
+    "STICKER_BAND_FRACTIONS",
+]
+
+#: Vertical band positions (as fractions of image height) of the two sticker
+#: regions, loosely matching the layout of the RP2 "sticker attack" artwork.
+#: The bands cover roughly 15-20% of the sign surface, comparable to the
+#: black/white tape rectangles of the original attack.
+STICKER_BAND_FRACTIONS: Tuple[Tuple[float, float], ...] = ((0.30, 0.39), (0.61, 0.70))
+
+
+def sticker_mask(sign_mask: np.ndarray, bands: Tuple[Tuple[float, float], ...] = STICKER_BAND_FRACTIONS) -> np.ndarray:
+    """Restrict a sign mask to horizontal sticker bands.
+
+    Parameters
+    ----------
+    sign_mask:
+        Boolean ``(H, W)`` mask of the sign surface.
+    bands:
+        Sequence of ``(top_fraction, bottom_fraction)`` pairs describing the
+        sticker bands relative to the image height.
+
+    Returns
+    -------
+    A boolean mask that is the intersection of the sign surface with the
+    sticker bands -- this is the region the RP2 attack may perturb.
+    """
+
+    size = sign_mask.shape[0]
+    rows = np.arange(size)
+    band_selector = np.zeros(size, dtype=bool)
+    for top_fraction, bottom_fraction in bands:
+        band_selector |= (rows >= top_fraction * size) & (rows < bottom_fraction * size)
+    return sign_mask & band_selector[:, None]
+
+
+def _view_grid(num_distances: int, num_angles: int) -> List[ViewParameters]:
+    """Deterministic grid of viewpoints: distances x viewing angles."""
+
+    scales = np.linspace(0.75, 1.1, num_distances)
+    angles = np.linspace(-15.0, 15.0, num_angles)
+    shears = np.linspace(-0.12, 0.12, num_angles)
+    views: List[ViewParameters] = []
+    for scale in scales:
+        for angle, shear in zip(angles, shears):
+            views.append(ViewParameters(scale=scale, rotation_degrees=angle, shear=shear))
+    return views
+
+
+def make_eval_set_for_class(
+    name: str,
+    num_views: int = 40,
+    image_size: int = 32,
+    seed: int = 1234,
+) -> SignDataset:
+    """Build a deterministic multi-view evaluation set for one sign class.
+
+    The default of 40 views (5 distances x 8 angles) matches the paper's
+    stop-sign evaluation-set size.
+    """
+
+    num_distances = 5
+    num_angles = int(np.ceil(num_views / num_distances))
+    views = _view_grid(num_distances, num_angles)[:num_views]
+
+    rng = np.random.default_rng(seed)
+    canonical, canonical_mask = render_canonical(name, image_size)
+
+    images = np.empty((len(views), 3, image_size, image_size), dtype=np.float64)
+    masks = np.empty((len(views), image_size, image_size), dtype=bool)
+    for index, view in enumerate(views):
+        background = smooth_background(image_size, rng)
+        composited = composite_on_background(canonical, canonical_mask, background)
+        warped, warped_mask = viewpoint_transform(composited, canonical_mask, view)
+        warped = photometric_jitter(warped, rng, strength=0.5)
+        if warped_mask is None or not warped_mask.any():
+            warped_mask = canonical_mask
+        images[index] = warped
+        masks[index] = warped_mask
+
+    labels = np.full(len(views), class_index(name), dtype=np.int64)
+    return SignDataset(images=images, labels=labels, masks=masks, class_names=list(SIGN_CLASSES))
+
+
+def make_stop_sign_eval_set(
+    num_views: int = 40, image_size: int = 32, seed: int = 1234
+) -> SignDataset:
+    """The 40-view stop-sign evaluation set used by every attack experiment."""
+
+    return make_eval_set_for_class("stop", num_views=num_views, image_size=image_size, seed=seed)

@@ -1,0 +1,174 @@
+"""Synthetic LISA-like traffic-sign dataset builder.
+
+The original paper trains on the LISA dataset restricted to its 18 most
+frequent classes.  This module builds an equivalent synthetic dataset:
+
+* class frequencies follow :data:`repro.data.signs.LISA_CLASS_FREQUENCIES`
+  when ``imbalanced=True`` (mirroring LISA's heavy skew toward stop signs),
+  or are uniform otherwise;
+* every sample is a procedurally rendered sign composited on a smooth
+  background and warped to a random viewpoint;
+* the sign mask of every sample is retained so attack code can constrain
+  perturbations to the sign surface, exactly as the RP2 threat model
+  requires.
+
+The main entry points are :func:`make_dataset` and :class:`SignDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .signs import LISA_CLASS_FREQUENCIES, NUM_CLASSES, SIGN_CLASSES, render_canonical
+from .transforms import ViewParameters, augment_view
+
+__all__ = ["SignDataset", "make_dataset", "train_test_split", "class_distribution"]
+
+
+@dataclass
+class SignDataset:
+    """A bundle of images, labels and per-sample sign masks.
+
+    Attributes
+    ----------
+    images:
+        ``(N, 3, H, W)`` float array in ``[0, 1]``.
+    labels:
+        ``(N,)`` integer array of class indices into
+        :data:`repro.data.signs.SIGN_CLASSES`.
+    masks:
+        ``(N, H, W)`` boolean array; ``masks[i]`` covers the sign surface of
+        sample ``i`` and is used as the RP2 perturbation mask.
+    class_names:
+        The ordered class-name list (shared across all datasets).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    masks: np.ndarray
+    class_names: List[str] = field(default_factory=lambda: list(SIGN_CLASSES))
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.labels) or len(self.images) != len(self.masks):
+            raise ValueError("images, labels and masks must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index) -> "SignDataset":
+        """Index or slice the dataset, returning a new :class:`SignDataset`."""
+
+        index = np.asarray(index) if not isinstance(index, (int, slice)) else index
+        images = self.images[index]
+        labels = self.labels[index]
+        masks = self.masks[index]
+        if isinstance(index, int):
+            images = images[None]
+            labels = np.asarray([labels])
+            masks = masks[None]
+        return SignDataset(images, labels, masks, list(self.class_names))
+
+    @property
+    def num_classes(self) -> int:
+        """Number of sign classes."""
+
+        return len(self.class_names)
+
+    @property
+    def image_size(self) -> int:
+        """Spatial size (height == width) of the images."""
+
+        return self.images.shape[-1]
+
+    def subset_by_class(self, class_label: int) -> "SignDataset":
+        """Return only the samples whose label equals ``class_label``."""
+
+        selector = np.where(self.labels == class_label)[0]
+        return self[selector]
+
+    def sample(self, count: int, rng: np.random.Generator) -> "SignDataset":
+        """Return ``count`` samples drawn without replacement."""
+
+        count = min(count, len(self))
+        selector = rng.choice(len(self), size=count, replace=False)
+        return self[selector]
+
+
+def class_distribution(imbalanced: bool = True) -> np.ndarray:
+    """Probability vector over the 18 classes used when sampling a dataset."""
+
+    if not imbalanced:
+        return np.full(NUM_CLASSES, 1.0 / NUM_CLASSES)
+    probabilities = np.array([LISA_CLASS_FREQUENCIES[name] for name in SIGN_CLASSES])
+    return probabilities / probabilities.sum()
+
+
+def make_dataset(
+    num_samples: int,
+    image_size: int = 32,
+    imbalanced: bool = True,
+    augmentation_strength: float = 1.0,
+    min_per_class: int = 2,
+    seed: int = 0,
+) -> SignDataset:
+    """Build a synthetic LISA-like dataset.
+
+    Parameters
+    ----------
+    num_samples:
+        Total number of images to generate.
+    image_size:
+        Canvas size in pixels (paper-scale photographs are replaced by small
+        procedural renders; 32 is the default used throughout the repo).
+    imbalanced:
+        Follow LISA's class imbalance (default) or sample uniformly.
+    augmentation_strength:
+        Scales viewpoint and photometric variation; 0 disables augmentation
+        entirely (every image is the canonical render).
+    min_per_class:
+        A floor on the number of samples per class so that even the rarest
+        classes appear in small datasets.
+    seed:
+        Seed for the dataset's private random generator.
+    """
+
+    rng = np.random.default_rng(seed)
+    probabilities = class_distribution(imbalanced)
+
+    labels = rng.choice(NUM_CLASSES, size=num_samples, p=probabilities)
+    # Guarantee a minimum count per class so the classifier sees every label.
+    for class_label in range(NUM_CLASSES):
+        deficit = min_per_class - int((labels == class_label).sum())
+        if deficit > 0:
+            replace_positions = rng.choice(num_samples, size=deficit, replace=False)
+            labels[replace_positions] = class_label
+
+    images = np.empty((num_samples, 3, image_size, image_size), dtype=np.float64)
+    masks = np.empty((num_samples, image_size, image_size), dtype=bool)
+    for index, class_label in enumerate(labels):
+        canonical, mask = render_canonical(SIGN_CLASSES[class_label], image_size)
+        if augmentation_strength > 0:
+            image, mask = augment_view(canonical, mask, rng, strength=augmentation_strength)
+        else:
+            image = canonical
+        images[index] = image
+        masks[index] = mask
+    return SignDataset(images=images, labels=labels.astype(np.int64), masks=masks)
+
+
+def train_test_split(
+    dataset: SignDataset, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[SignDataset, SignDataset]:
+    """Split a dataset into train and test partitions with a shuffled permutation."""
+
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(len(dataset))
+    split_point = int(round(len(dataset) * (1.0 - test_fraction)))
+    train_indices = permutation[:split_point]
+    test_indices = permutation[split_point:]
+    return dataset[train_indices], dataset[test_indices]

@@ -1,0 +1,82 @@
+"""Mini-batch iteration utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .lisa import SignDataset
+
+__all__ = ["BatchIterator", "iterate_batches"]
+
+
+def iterate_batches(
+    dataset: SignDataset,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels, masks)`` mini-batches from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The source :class:`~repro.data.lisa.SignDataset`.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Whether to shuffle sample order each pass.
+    rng:
+        Generator used for shuffling; a fresh default generator otherwise.
+    drop_last:
+        When true, a trailing partial batch is discarded.
+    """
+
+    indices = np.arange(len(dataset))
+    if shuffle:
+        generator = rng if rng is not None else np.random.default_rng()
+        generator.shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        batch_indices = indices[start : start + batch_size]
+        if drop_last and len(batch_indices) < batch_size:
+            break
+        yield (
+            dataset.images[batch_indices],
+            dataset.labels[batch_indices],
+            dataset.masks[batch_indices],
+        )
+
+
+class BatchIterator:
+    """Reusable batch iterator bound to a dataset and batch size."""
+
+    def __init__(
+        self,
+        dataset: SignDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        return iterate_batches(
+            self.dataset,
+            self.batch_size,
+            shuffle=self.shuffle,
+            rng=self._rng,
+            drop_last=self.drop_last,
+        )
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full

@@ -1,0 +1,218 @@
+"""Rasterization primitives for the synthetic traffic-sign renderer.
+
+The real LISA dataset used by the paper contains photographs of US road
+signs.  Those photographs are not redistributable here, so the
+reproduction renders *procedural* signs: each sign class is a composition
+of the primitives in this module (regular polygons, circles, rectangles,
+stripes, arrows and block "glyphs") drawn onto a small RGB canvas.
+
+All primitives operate on ``(H, W)`` boolean or float masks; the sign
+renderer in :mod:`repro.data.signs` combines them into ``(3, H, W)``
+float images in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "grid",
+    "regular_polygon_vertices",
+    "polygon_mask",
+    "circle_mask",
+    "rectangle_mask",
+    "ring_mask",
+    "horizontal_stripe_mask",
+    "vertical_stripe_mask",
+    "diagonal_stripe_mask",
+    "arrow_mask",
+    "cross_mask",
+    "triangle_mask",
+]
+
+
+def grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(rows, cols)`` coordinate grids for a ``size x size`` canvas.
+
+    Coordinates are pixel centers, i.e. ``0.5, 1.5, ...``.
+    """
+
+    coordinates = np.arange(size, dtype=np.float64) + 0.5
+    rows, cols = np.meshgrid(coordinates, coordinates, indexing="ij")
+    return rows, cols
+
+
+def regular_polygon_vertices(
+    center: Tuple[float, float],
+    radius: float,
+    sides: int,
+    rotation: float = 0.0,
+) -> np.ndarray:
+    """Vertices of a regular polygon.
+
+    Parameters
+    ----------
+    center:
+        ``(row, col)`` center of the polygon.
+    radius:
+        Circumscribed-circle radius in pixels.
+    sides:
+        Number of sides (8 for a stop-sign octagon, 3 for a yield triangle).
+    rotation:
+        Rotation angle in radians.
+    """
+
+    angles = rotation + 2.0 * np.pi * np.arange(sides) / sides
+    rows = center[0] + radius * np.sin(angles)
+    cols = center[1] + radius * np.cos(angles)
+    return np.stack([rows, cols], axis=1)
+
+
+def polygon_mask(size: int, vertices: np.ndarray) -> np.ndarray:
+    """Boolean mask of the pixels inside a (possibly concave) polygon.
+
+    Uses the even-odd (crossing-number) rule evaluated on the pixel-center
+    grid, which is exact enough at the 32--64 pixel canvases used here.
+    """
+
+    rows, cols = grid(size)
+    vertices = np.asarray(vertices, dtype=np.float64)
+    count = np.zeros((size, size), dtype=np.int64)
+    num_vertices = len(vertices)
+    for index in range(num_vertices):
+        r0, c0 = vertices[index]
+        r1, c1 = vertices[(index + 1) % num_vertices]
+        crosses = (r0 > rows) != (r1 > rows)
+        denominator = np.where(r1 - r0 == 0.0, 1e-12, r1 - r0)
+        intersection_col = c0 + (rows - r0) * (c1 - c0) / denominator
+        count += (crosses & (cols < intersection_col)).astype(np.int64)
+    return (count % 2) == 1
+
+
+def circle_mask(size: int, center: Tuple[float, float], radius: float) -> np.ndarray:
+    """Boolean mask of a filled circle."""
+
+    rows, cols = grid(size)
+    return (rows - center[0]) ** 2 + (cols - center[1]) ** 2 <= radius ** 2
+
+
+def ring_mask(
+    size: int, center: Tuple[float, float], outer_radius: float, inner_radius: float
+) -> np.ndarray:
+    """Boolean mask of an annulus (used for circular sign borders)."""
+
+    return circle_mask(size, center, outer_radius) & ~circle_mask(size, center, inner_radius)
+
+
+def rectangle_mask(
+    size: int, top: float, left: float, bottom: float, right: float
+) -> np.ndarray:
+    """Boolean mask of an axis-aligned rectangle ``[top, bottom) x [left, right)``."""
+
+    rows, cols = grid(size)
+    return (rows >= top) & (rows < bottom) & (cols >= left) & (cols < right)
+
+
+def horizontal_stripe_mask(
+    size: int, center_row: float, thickness: float, left: float = 0.0, right: float = None
+) -> np.ndarray:
+    """Boolean mask of a horizontal bar."""
+
+    right = size if right is None else right
+    return rectangle_mask(
+        size, center_row - thickness / 2.0, left, center_row + thickness / 2.0, right
+    )
+
+
+def vertical_stripe_mask(
+    size: int, center_col: float, thickness: float, top: float = 0.0, bottom: float = None
+) -> np.ndarray:
+    """Boolean mask of a vertical bar."""
+
+    bottom = size if bottom is None else bottom
+    return rectangle_mask(
+        size, top, center_col - thickness / 2.0, bottom, center_col + thickness / 2.0
+    )
+
+
+def diagonal_stripe_mask(size: int, offset: float, thickness: float, slope: float = 1.0) -> np.ndarray:
+    """Boolean mask of a diagonal band ``|row - slope*col - offset| < thickness/2``."""
+
+    rows, cols = grid(size)
+    return np.abs(rows - slope * cols - offset) < thickness / 2.0
+
+
+def cross_mask(size: int, center: Tuple[float, float], arm_length: float, thickness: float) -> np.ndarray:
+    """Boolean mask of a plus-shaped cross."""
+
+    horizontal = rectangle_mask(
+        size,
+        center[0] - thickness / 2.0,
+        center[1] - arm_length,
+        center[0] + thickness / 2.0,
+        center[1] + arm_length,
+    )
+    vertical = rectangle_mask(
+        size,
+        center[0] - arm_length,
+        center[1] - thickness / 2.0,
+        center[0] + arm_length,
+        center[1] + thickness / 2.0,
+    )
+    return horizontal | vertical
+
+
+def triangle_mask(
+    size: int, center: Tuple[float, float], radius: float, point_up: bool = True
+) -> np.ndarray:
+    """Boolean mask of an equilateral triangle."""
+
+    rotation = -np.pi / 2.0 if point_up else np.pi / 2.0
+    vertices = regular_polygon_vertices(center, radius, 3, rotation=rotation)
+    return polygon_mask(size, vertices)
+
+
+def arrow_mask(
+    size: int,
+    center: Tuple[float, float],
+    length: float,
+    thickness: float,
+    direction: str = "up",
+) -> np.ndarray:
+    """Boolean mask of a simple arrow (shaft plus triangular head).
+
+    Parameters
+    ----------
+    direction:
+        One of ``up``, ``down``, ``left``, ``right``.
+    """
+
+    if direction not in {"up", "down", "left", "right"}:
+        raise ValueError(f"unknown arrow direction {direction!r}")
+
+    head_radius = max(thickness * 1.6, 2.0)
+    if direction in {"up", "down"}:
+        shaft = vertical_stripe_mask(
+            size,
+            center[1],
+            thickness,
+            top=center[0] - length / 2.0,
+            bottom=center[0] + length / 2.0,
+        )
+        tip_row = center[0] - length / 2.0 if direction == "up" else center[0] + length / 2.0
+        head = triangle_mask(size, (tip_row, center[1]), head_radius, point_up=direction == "up")
+    else:
+        shaft = horizontal_stripe_mask(
+            size,
+            center[0],
+            thickness,
+            left=center[1] - length / 2.0,
+            right=center[1] + length / 2.0,
+        )
+        tip_col = center[1] - length / 2.0 if direction == "left" else center[1] + length / 2.0
+        rotation = np.pi if direction == "left" else 0.0
+        vertices = regular_polygon_vertices((center[0], tip_col), head_radius, 3, rotation=rotation)
+        head = polygon_mask(size, vertices)
+    return shaft | head

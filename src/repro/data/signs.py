@@ -1,0 +1,422 @@
+"""Procedural renderers for the 18 LISA traffic-sign classes.
+
+The LISA dataset [Mogelmose et al. 2012] used in the paper contains
+photographs of 47 US sign types; the paper (following the RP2 work) keeps
+the 18 most frequent classes.  This module renders a synthetic stand-in for
+each of those 18 classes as a composition of colored geometric primitives:
+the *shape*, *color scheme* and a simple *glyph* pattern make every class
+visually distinct, so a small CNN can learn them, while the images retain
+the property the defense depends on -- natural content is spatially smooth
+(low-frequency) and the sign occupies a contiguous region described by a
+mask.
+
+Every renderer returns ``(image, sign_mask)`` where ``image`` has shape
+``(3, size, size)`` with values in ``[0, 1]`` and ``sign_mask`` is a boolean
+``(size, size)`` array marking the sign's surface.  The mask doubles as the
+RP2 attack mask region (the attacker may only perturb the sign itself).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from . import shapes
+
+__all__ = [
+    "SIGN_CLASSES",
+    "NUM_CLASSES",
+    "LISA_CLASS_FREQUENCIES",
+    "class_index",
+    "class_name",
+    "render_sign",
+    "render_canonical",
+]
+
+#: The 18 most frequent LISA classes used by the paper (and by the RP2 attack
+#: evaluation), in a fixed order that defines the integer label of each class.
+SIGN_CLASSES: List[str] = [
+    "stop",
+    "yield",
+    "speedLimit25",
+    "speedLimit30",
+    "speedLimit35",
+    "speedLimit45",
+    "signalAhead",
+    "pedestrianCrossing",
+    "keepRight",
+    "laneEnds",
+    "merge",
+    "school",
+    "addedLane",
+    "stopAhead",
+    "turnRight",
+    "turnLeft",
+    "rightLaneMustTurn",
+    "doNotPass",
+]
+
+NUM_CLASSES: int = len(SIGN_CLASSES)
+
+#: Approximate relative frequencies mirroring the strong class imbalance of
+#: LISA (stop signs dominate).  Used by the dataset builder to draw an
+#: imbalanced training set, as in the original dataset.
+LISA_CLASS_FREQUENCIES: Dict[str, float] = {
+    "stop": 0.245,
+    "pedestrianCrossing": 0.145,
+    "signalAhead": 0.125,
+    "speedLimit35": 0.075,
+    "speedLimit25": 0.065,
+    "stopAhead": 0.045,
+    "merge": 0.04,
+    "keepRight": 0.04,
+    "speedLimit45": 0.035,
+    "school": 0.03,
+    "laneEnds": 0.025,
+    "speedLimit30": 0.025,
+    "addedLane": 0.025,
+    "yield": 0.02,
+    "turnRight": 0.02,
+    "rightLaneMustTurn": 0.015,
+    "turnLeft": 0.013,
+    "doNotPass": 0.012,
+}
+
+# Color palette (RGB in [0, 1]).
+RED = np.array([0.78, 0.06, 0.10])
+WHITE = np.array([0.95, 0.95, 0.95])
+BLACK = np.array([0.05, 0.05, 0.05])
+YELLOW = np.array([0.95, 0.80, 0.10])
+GREEN = np.array([0.10, 0.55, 0.20])
+AMBER = np.array([0.95, 0.55, 0.05])
+
+
+def class_index(name: str) -> int:
+    """Integer label of a sign class name."""
+
+    return SIGN_CLASSES.index(name)
+
+
+def class_name(index: int) -> str:
+    """Sign class name for an integer label."""
+
+    return SIGN_CLASSES[index]
+
+
+def _blank_canvas(size: int, background: np.ndarray) -> np.ndarray:
+    """Return a ``(3, size, size)`` canvas filled with ``background``."""
+
+    return np.broadcast_to(background.reshape(3, 1, 1), (3, size, size)).copy()
+
+
+def _paint(image: np.ndarray, mask: np.ndarray, color: np.ndarray) -> None:
+    """Set ``image[:, mask] = color`` in place."""
+
+    image[:, mask] = color.reshape(3, 1)
+
+
+def _center(size: int) -> Tuple[float, float]:
+    return (size / 2.0, size / 2.0)
+
+
+def _sign_radius(size: int) -> float:
+    return size * 0.42
+
+
+# ---------------------------------------------------------------------------
+# Per-class renderers.  Each takes (size,) and returns (image, sign_mask).
+# ---------------------------------------------------------------------------
+
+def _render_stop(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Red octagon with a white horizontal band (the word STOP)."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    center = _center(size)
+    vertices = shapes.regular_polygon_vertices(center, _sign_radius(size), 8, rotation=np.pi / 8)
+    sign = shapes.polygon_mask(size, vertices)
+    _paint(image, sign, RED)
+    band = shapes.horizontal_stripe_mask(
+        size, center[0], size * 0.14, left=size * 0.22, right=size * 0.78
+    )
+    _paint(image, band & sign, WHITE)
+    return image, sign
+
+
+def _render_yield(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Downward-pointing triangle, red border, white interior."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    center = _center(size)
+    outer = shapes.triangle_mask(size, center, _sign_radius(size) * 1.1, point_up=False)
+    inner = shapes.triangle_mask(size, center, _sign_radius(size) * 0.65, point_up=False)
+    _paint(image, outer, RED)
+    _paint(image, inner, WHITE)
+    return image, outer
+
+
+def _render_speed_limit(size: int, bars: int, thick: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """White rectangular regulatory sign with a class-specific bar glyph."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    margin = size * 0.14
+    sign = shapes.rectangle_mask(size, margin, margin * 1.3, size - margin, size - margin * 1.3)
+    border = sign & ~shapes.rectangle_mask(
+        size, margin + 1.5, margin * 1.3 + 1.5, size - margin - 1.5, size - margin * 1.3 - 1.5
+    )
+    _paint(image, sign, WHITE)
+    _paint(image, border, BLACK)
+    top = size * 0.3
+    spacing = (size * 0.4) / max(bars, 1)
+    thickness = size * (0.09 if thick else 0.05)
+    for bar in range(bars):
+        stripe = shapes.horizontal_stripe_mask(
+            size, top + bar * spacing, thickness, left=size * 0.3, right=size * 0.7
+        )
+        _paint(image, stripe & sign, BLACK)
+    return image, sign
+
+
+def _render_diamond(size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared yellow-diamond warning-sign base.  Returns (image, sign, center_mask)."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    center = _center(size)
+    vertices = shapes.regular_polygon_vertices(center, _sign_radius(size) * 1.15, 4, rotation=0.0)
+    sign = shapes.polygon_mask(size, vertices)
+    _paint(image, sign, YELLOW)
+    inner_vertices = shapes.regular_polygon_vertices(center, _sign_radius(size) * 1.0, 4, rotation=0.0)
+    inner = shapes.polygon_mask(size, inner_vertices)
+    border = sign & ~inner
+    _paint(image, border, BLACK)
+    return image, sign, inner
+
+
+def _render_signal_ahead(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Yellow diamond with a three-light traffic-signal glyph."""
+
+    image, sign, inner = _render_diamond(size)
+    center = _center(size)
+    radius = size * 0.05
+    offsets = (-size * 0.14, 0.0, size * 0.14)
+    colors = (RED, AMBER, GREEN)
+    for offset, color in zip(offsets, colors):
+        light = shapes.circle_mask(size, (center[0] + offset, center[1]), radius)
+        _paint(image, light & inner, color)
+    return image, sign
+
+
+def _render_pedestrian_crossing(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Yellow diamond with a walking-figure glyph (head circle plus body bar)."""
+
+    image, sign, inner = _render_diamond(size)
+    center = _center(size)
+    head = shapes.circle_mask(size, (center[0] - size * 0.12, center[1]), size * 0.055)
+    body = shapes.vertical_stripe_mask(
+        size, center[1], size * 0.07, top=center[0] - size * 0.06, bottom=center[0] + size * 0.18
+    )
+    _paint(image, (head | body) & inner, BLACK)
+    return image, sign
+
+
+def _render_keep_right(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """White rectangle with a rightward arrow."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    margin = size * 0.15
+    sign = shapes.rectangle_mask(size, margin, margin, size - margin, size - margin)
+    _paint(image, sign, WHITE)
+    arrow = shapes.arrow_mask(size, _center(size), size * 0.4, size * 0.07, direction="right")
+    _paint(image, arrow & sign, BLACK)
+    return image, sign
+
+
+def _render_lane_ends(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Yellow diamond with two converging diagonal stripes."""
+
+    image, sign, inner = _render_diamond(size)
+    left = shapes.diagonal_stripe_mask(size, offset=-size * 0.05, thickness=size * 0.07, slope=1.0)
+    right = shapes.diagonal_stripe_mask(size, offset=size * 1.02, thickness=size * 0.07, slope=-1.0)
+    _paint(image, (left | right) & inner, BLACK)
+    return image, sign
+
+
+def _render_merge(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Yellow diamond with one vertical lane and one merging diagonal."""
+
+    image, sign, inner = _render_diamond(size)
+    center = _center(size)
+    lane = shapes.vertical_stripe_mask(
+        size, center[1] + size * 0.07, size * 0.06, top=size * 0.25, bottom=size * 0.75
+    )
+    merging = shapes.diagonal_stripe_mask(size, offset=-size * 0.12, thickness=size * 0.06, slope=1.0)
+    _paint(image, (lane | merging) & inner, BLACK)
+    return image, sign
+
+
+def _render_school(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pentagonal (schoolhouse) yellow sign with two figure glyphs."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    center = _center(size)
+    vertices = shapes.regular_polygon_vertices(center, _sign_radius(size) * 1.05, 5, rotation=-np.pi / 2)
+    sign = shapes.polygon_mask(size, vertices)
+    _paint(image, sign, YELLOW)
+    left_figure = shapes.circle_mask(size, (center[0], center[1] - size * 0.1), size * 0.05)
+    right_figure = shapes.circle_mask(size, (center[0], center[1] + size * 0.1), size * 0.05)
+    base = shapes.horizontal_stripe_mask(
+        size, center[0] + size * 0.13, size * 0.07, left=size * 0.3, right=size * 0.7
+    )
+    _paint(image, (left_figure | right_figure | base) & sign, BLACK)
+    return image, sign
+
+
+def _render_added_lane(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Yellow diamond with two parallel vertical lanes."""
+
+    image, sign, inner = _render_diamond(size)
+    center = _center(size)
+    left_lane = shapes.vertical_stripe_mask(
+        size, center[1] - size * 0.1, size * 0.06, top=size * 0.28, bottom=size * 0.72
+    )
+    right_lane = shapes.vertical_stripe_mask(
+        size, center[1] + size * 0.1, size * 0.06, top=size * 0.28, bottom=size * 0.72
+    )
+    _paint(image, (left_lane | right_lane) & inner, BLACK)
+    return image, sign
+
+
+def _render_stop_ahead(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Yellow diamond with a small red octagon glyph."""
+
+    image, sign, inner = _render_diamond(size)
+    center = _center(size)
+    octagon = shapes.polygon_mask(
+        size,
+        shapes.regular_polygon_vertices(center, size * 0.16, 8, rotation=np.pi / 8),
+    )
+    _paint(image, octagon & inner, RED)
+    return image, sign
+
+
+def _render_turn(size: int, direction: str) -> Tuple[np.ndarray, np.ndarray]:
+    """White rectangle with an upward arrow bending left or right."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    margin = size * 0.15
+    sign = shapes.rectangle_mask(size, margin, margin, size - margin, size - margin)
+    _paint(image, sign, WHITE)
+    center = _center(size)
+    vertical = shapes.arrow_mask(
+        size, (center[0] + size * 0.05, center[1]), size * 0.3, size * 0.06, direction="up"
+    )
+    bend = shapes.arrow_mask(
+        size,
+        (center[0] - size * 0.12, center[1]),
+        size * 0.26,
+        size * 0.06,
+        direction=direction,
+    )
+    _paint(image, (vertical | bend) & sign, BLACK)
+    return image, sign
+
+
+def _render_right_lane_must_turn(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """White rectangle with a right arrow and a separating vertical bar."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    margin = size * 0.15
+    sign = shapes.rectangle_mask(size, margin, margin, size - margin, size - margin)
+    _paint(image, sign, WHITE)
+    center = _center(size)
+    divider = shapes.vertical_stripe_mask(
+        size, center[1] - size * 0.15, size * 0.05, top=size * 0.22, bottom=size * 0.78
+    )
+    arrow = shapes.arrow_mask(
+        size, (center[0], center[1] + size * 0.1), size * 0.3, size * 0.06, direction="right"
+    )
+    _paint(image, (divider | arrow) & sign, BLACK)
+    return image, sign
+
+
+def _render_do_not_pass(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """White rectangle crossed by a red diagonal band."""
+
+    image = _blank_canvas(size, np.array([0.45, 0.55, 0.65]))
+    margin = size * 0.15
+    sign = shapes.rectangle_mask(size, margin, margin, size - margin, size - margin)
+    _paint(image, sign, WHITE)
+    border = sign & ~shapes.rectangle_mask(
+        size, margin + 1.5, margin + 1.5, size - margin - 1.5, size - margin - 1.5
+    )
+    _paint(image, border, BLACK)
+    band = shapes.diagonal_stripe_mask(size, offset=0.0, thickness=size * 0.1, slope=1.0)
+    _paint(image, band & sign, RED)
+    return image, sign
+
+
+_RENDERERS: Dict[str, Callable[[int], Tuple[np.ndarray, np.ndarray]]] = {
+    "stop": _render_stop,
+    "yield": _render_yield,
+    "speedLimit25": lambda size: _render_speed_limit(size, bars=2, thick=False),
+    "speedLimit30": lambda size: _render_speed_limit(size, bars=3, thick=False),
+    "speedLimit35": lambda size: _render_speed_limit(size, bars=3, thick=True),
+    "speedLimit45": lambda size: _render_speed_limit(size, bars=4, thick=True),
+    "signalAhead": _render_signal_ahead,
+    "pedestrianCrossing": _render_pedestrian_crossing,
+    "keepRight": _render_keep_right,
+    "laneEnds": _render_lane_ends,
+    "merge": _render_merge,
+    "school": _render_school,
+    "addedLane": _render_added_lane,
+    "stopAhead": _render_stop_ahead,
+    "turnRight": lambda size: _render_turn(size, "right"),
+    "turnLeft": lambda size: _render_turn(size, "left"),
+    "rightLaneMustTurn": _render_right_lane_must_turn,
+    "doNotPass": _render_do_not_pass,
+}
+
+
+def render_canonical(name: str, size: int = 32) -> Tuple[np.ndarray, np.ndarray]:
+    """Render the canonical (un-augmented) view of a sign class.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SIGN_CLASSES`.
+    size:
+        Canvas height/width in pixels.
+
+    Returns
+    -------
+    image, sign_mask:
+        ``image`` is ``(3, size, size)`` float in ``[0, 1]``; ``sign_mask``
+        is a boolean ``(size, size)`` array covering the sign surface.
+    """
+
+    if name not in _RENDERERS:
+        raise KeyError(f"unknown sign class {name!r}; expected one of {SIGN_CLASSES}")
+    image, mask = _RENDERERS[name](size)
+    return np.clip(image, 0.0, 1.0), mask
+
+
+def render_sign(
+    name: str,
+    size: int = 32,
+    rng: np.random.Generator = None,
+    jitter: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Render a sign with optional photometric/viewpoint jitter.
+
+    This is a convenience wrapper around :func:`render_canonical` plus the
+    augmentation pipeline in :mod:`repro.data.transforms`; the dataset
+    builder calls the two stages separately for finer control.
+    """
+
+    from .transforms import augment_view
+
+    image, mask = render_canonical(name, size)
+    if not jitter:
+        return image, mask
+    rng = rng if rng is not None else np.random.default_rng()
+    return augment_view(image, mask, rng)

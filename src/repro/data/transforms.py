@@ -1,0 +1,204 @@
+"""Viewpoint and photometric transforms for the synthetic sign dataset.
+
+The paper evaluates RP2 on stop-sign photographs taken from "varying
+distances and angles".  This module reproduces that variation synthetically:
+
+* :func:`viewpoint_transform` -- an affine warp combining scale (distance),
+  rotation and shear (viewing angle) plus a small translation; the same warp
+  is applied to the sign mask so the RP2 attack mask stays aligned with the
+  sign after transformation.
+* :func:`photometric_jitter` -- brightness / contrast variation and sensor
+  noise.
+* :func:`augment_view` -- the standard composition used by the dataset
+  builder.
+* :func:`smooth_background` -- low-frequency random backgrounds that keep the
+  "natural images are spatially smooth" property the defense relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "ViewParameters",
+    "viewpoint_transform",
+    "photometric_jitter",
+    "smooth_background",
+    "augment_view",
+    "gaussian_noise",
+]
+
+
+class ViewParameters:
+    """Parameters of a synthetic camera view of a sign.
+
+    Attributes
+    ----------
+    scale:
+        Apparent size factor (< 1 means the sign is further away).
+    rotation_degrees:
+        In-plane rotation of the sign.
+    shear:
+        Horizontal shear emulating an oblique viewing angle.
+    shift:
+        ``(rows, cols)`` translation in pixels.
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        rotation_degrees: float = 0.0,
+        shear: float = 0.0,
+        shift: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        self.scale = float(scale)
+        self.rotation_degrees = float(rotation_degrees)
+        self.shear = float(shear)
+        self.shift = (float(shift[0]), float(shift[1]))
+
+    @staticmethod
+    def random(rng: np.random.Generator, strength: float = 1.0) -> "ViewParameters":
+        """Draw random view parameters; ``strength`` scales the variation."""
+
+        return ViewParameters(
+            scale=1.0 + strength * rng.uniform(-0.25, 0.15),
+            rotation_degrees=strength * rng.uniform(-12.0, 12.0),
+            shear=strength * rng.uniform(-0.15, 0.15),
+            shift=(strength * rng.uniform(-2.0, 2.0), strength * rng.uniform(-2.0, 2.0)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ViewParameters(scale={self.scale:.3f}, rotation={self.rotation_degrees:.1f}deg,"
+            f" shear={self.shear:.3f}, shift={self.shift})"
+        )
+
+
+def _affine_matrix(view: ViewParameters, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the inverse affine matrix and offset used by ``ndimage.affine_transform``."""
+
+    angle = np.deg2rad(view.rotation_degrees)
+    rotation = np.array(
+        [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+    )
+    shear = np.array([[1.0, view.shear], [0.0, 1.0]])
+    scale = np.array([[view.scale, 0.0], [0.0, view.scale]])
+    forward = rotation @ shear @ scale
+    inverse = np.linalg.inv(forward)
+    center = np.array([size / 2.0, size / 2.0])
+    offset = center - inverse @ (center + np.asarray(view.shift))
+    return inverse, offset
+
+
+def viewpoint_transform(
+    image: np.ndarray,
+    mask: Optional[np.ndarray],
+    view: ViewParameters,
+    background_value: float = 0.5,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Apply an affine viewpoint warp to an image (and optionally its mask).
+
+    Parameters
+    ----------
+    image:
+        ``(3, H, W)`` float image.
+    mask:
+        Optional boolean ``(H, W)`` sign mask, warped with nearest-neighbor
+        interpolation so it remains boolean.
+    view:
+        The view parameters to apply.
+    background_value:
+        Fill value for pixels that fall outside the source image.
+    """
+
+    size = image.shape[-1]
+    inverse, offset = _affine_matrix(view, size)
+    warped = np.empty_like(image)
+    for channel in range(image.shape[0]):
+        warped[channel] = ndimage.affine_transform(
+            image[channel], inverse, offset=offset, order=1, mode="constant", cval=background_value
+        )
+    warped_mask: Optional[np.ndarray] = None
+    if mask is not None:
+        warped_mask = (
+            ndimage.affine_transform(
+                mask.astype(np.float64), inverse, offset=offset, order=0, mode="constant", cval=0.0
+            )
+            > 0.5
+        )
+    return np.clip(warped, 0.0, 1.0), warped_mask
+
+
+def photometric_jitter(
+    image: np.ndarray, rng: np.random.Generator, strength: float = 1.0
+) -> np.ndarray:
+    """Random brightness/contrast jitter plus mild sensor noise."""
+
+    brightness = strength * rng.uniform(-0.08, 0.08)
+    contrast = 1.0 + strength * rng.uniform(-0.12, 0.12)
+    jittered = (image - 0.5) * contrast + 0.5 + brightness
+    jittered = jittered + rng.normal(0.0, 0.01 * strength, size=image.shape)
+    return np.clip(jittered, 0.0, 1.0)
+
+
+def gaussian_noise(image: np.ndarray, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Add i.i.d. Gaussian noise of standard deviation ``sigma`` and clip to [0, 1].
+
+    This is the augmentation used by the Gaussian-augmentation / randomized
+    smoothing baselines in the white-box evaluation (Table II).
+    """
+
+    noisy = image + rng.normal(0.0, sigma, size=image.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def smooth_background(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate a smooth, low-frequency random background.
+
+    A coarse random field is upsampled with a Gaussian filter so the
+    background mimics out-of-focus scenery (sky, road, foliage) -- i.e. it is
+    dominated by low spatial frequencies, like natural images.
+    """
+
+    coarse = rng.uniform(0.2, 0.8, size=(3, 4, 4))
+    zoomed = ndimage.zoom(coarse, (1, size / 4.0, size / 4.0), order=1)
+    zoomed = zoomed[:, :size, :size]
+    smoothed = ndimage.gaussian_filter(zoomed, sigma=(0, 2.0, 2.0))
+    return np.clip(smoothed, 0.0, 1.0)
+
+
+def composite_on_background(
+    image: np.ndarray, mask: np.ndarray, background: np.ndarray
+) -> np.ndarray:
+    """Replace non-sign pixels of ``image`` with ``background``."""
+
+    composited = background.copy()
+    composited[:, mask] = image[:, mask]
+    return composited
+
+
+def augment_view(
+    image: np.ndarray,
+    mask: np.ndarray,
+    rng: np.random.Generator,
+    strength: float = 1.0,
+    view: Optional[ViewParameters] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard augmentation: random background, viewpoint warp, photometric jitter.
+
+    Returns the augmented image and the warped sign mask.
+    """
+
+    background = smooth_background(image.shape[-1], rng)
+    composited = composite_on_background(image, mask, background)
+    view = view if view is not None else ViewParameters.random(rng, strength)
+    warped, warped_mask = viewpoint_transform(composited, mask, view)
+    jittered = photometric_jitter(warped, rng, strength)
+    if warped_mask is None or not warped_mask.any():
+        # Extreme warps can push the sign off-canvas; fall back to the
+        # original mask so downstream consumers always get a usable region.
+        warped_mask = mask
+    return jittered, warped_mask

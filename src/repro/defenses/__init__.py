@@ -1,0 +1,22 @@
+"""Baseline defenses the paper compares BlurNet against.
+
+* Gaussian augmentation is a training option
+  (:class:`repro.models.training.TrainingConfig` with ``gaussian_sigma``).
+* :class:`SmoothedClassifier` adds randomized-smoothing majority voting at
+  prediction time.
+* :func:`adversarial_train` performs PGD adversarial training.
+"""
+
+from .adversarial_training import (
+    AdversarialTrainingConfig,
+    adversarial_train,
+    make_adversarial_batch_hook,
+)
+from .randomized_smoothing import SmoothedClassifier
+
+__all__ = [
+    "SmoothedClassifier",
+    "AdversarialTrainingConfig",
+    "adversarial_train",
+    "make_adversarial_batch_hook",
+]

@@ -1,0 +1,54 @@
+"""Experiment harness: one module per paper table/figure plus the runner."""
+
+from .adaptive import AdaptiveRow, run_adaptive_evaluation, run_table3
+from .advtrain_eval import AdvTrainRow, run_advtrain_evaluation, run_table5
+from .blackbox import BlackboxRow, run_blackbox_evaluation, run_table1
+from .config import ExperimentProfile, fast_profile, full_profile, smoke_profile
+from .context import ExperimentContext, clear_context_cache, get_context
+from .figures import (
+    figure1_input_spectra,
+    figure2_feature_spectra,
+    figure3_dct_sweep,
+    figure4_layer2_spectra,
+    figure5_scatter,
+    figure6_scatter,
+)
+from .pgd_eval import PGDRow, run_pgd_evaluation, run_table4
+from .reporting import format_table, print_table, save_rows
+from .runner import run_all
+from .whitebox import WhiteboxRow, run_table2, run_whitebox_evaluation
+
+__all__ = [
+    "ExperimentProfile",
+    "fast_profile",
+    "full_profile",
+    "smoke_profile",
+    "ExperimentContext",
+    "get_context",
+    "clear_context_cache",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_blackbox_evaluation",
+    "run_whitebox_evaluation",
+    "run_adaptive_evaluation",
+    "run_pgd_evaluation",
+    "run_advtrain_evaluation",
+    "BlackboxRow",
+    "WhiteboxRow",
+    "AdaptiveRow",
+    "PGDRow",
+    "AdvTrainRow",
+    "figure1_input_spectra",
+    "figure2_feature_spectra",
+    "figure3_dct_sweep",
+    "figure4_layer2_spectra",
+    "figure5_scatter",
+    "figure6_scatter",
+    "format_table",
+    "print_table",
+    "save_rows",
+    "run_all",
+]

@@ -1,0 +1,138 @@
+"""Table V: adversarial training compared against the adaptive attacks.
+
+The supplementary material of the paper evaluates the PGD adversarially
+trained baseline against the same adaptive attacks used in Table III (the
+TV-aware, Tik_hf-aware and Tik_pseudo-aware RP2 objectives).  The paper's
+finding: adversarial training beats every proposed defense under its
+matching adaptive attack *except* the TV-regularized defense, which remains
+the most robust against the RP2 threat model.
+
+This module evaluates (a) the adversarially trained model under each
+regularizer-aware adaptive attack and (b) each regularized defense under its
+own adaptive attack, so the two can be compared side by side as in Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..attacks.adaptive import regularizer_aware_rp2
+from ..core.blurnet import DefendedClassifier
+from ..core.config import DefenseConfig
+from ..core.regularizers import TikhonovRegularizer, TotalVariationRegularizer
+from .config import ExperimentProfile
+from .context import ExperimentContext, get_context
+from .whitebox import attack_sweep, rp2_config_from_profile
+
+__all__ = ["AdvTrainRow", "run_advtrain_evaluation", "run_table5"]
+
+
+@dataclass
+class AdvTrainRow:
+    """One row of Table V."""
+
+    model_name: str
+    attack_name: str
+    average_success_rate: float
+    worst_success_rate: float
+    dissimilarity: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row rendered as a flat dictionary (for reporting)."""
+
+        return {
+            "model": self.model_name,
+            "attack": self.attack_name,
+            "avg_success": self.average_success_rate,
+            "worst_success": self.worst_success_rate,
+            "l2_dissimilarity": self.dissimilarity,
+        }
+
+
+def _adaptive_attack_registry(context: ExperimentContext) -> Dict[str, object]:
+    """The three regularizer-aware attack objectives used by Table V."""
+
+    configs = context.table2_configs()
+    registry: Dict[str, object] = {}
+    for name, config in configs.items():
+        classifier_kind = config.kind
+        if classifier_kind == "tv" and "tv_adaptive" not in registry:
+            registry["tv_adaptive"] = TotalVariationRegularizer(config.alpha)
+        elif classifier_kind == "tik_hf":
+            registry["tik_hf_adaptive"] = TikhonovRegularizer(config.alpha, operator="hf")
+        elif classifier_kind == "tik_pseudo":
+            registry["tik_pseudo_adaptive"] = TikhonovRegularizer(config.alpha, operator="pseudo")
+    return registry
+
+
+def run_advtrain_evaluation(
+    context: Optional[ExperimentContext] = None,
+    include_defended_models: bool = True,
+) -> List[AdvTrainRow]:
+    """Evaluate the adversarially trained model against the adaptive attacks.
+
+    Parameters
+    ----------
+    context:
+        Experiment context.
+    include_defended_models:
+        Also evaluate each regularized defense under its own adaptive attack
+        so Table V can compare "adv-train under attack X" against "defense X
+        under attack X" directly.
+    """
+
+    context = context if context is not None else get_context()
+    profile = context.profile
+    adv_trained = context.get_model(DefenseConfig.adversarial_training())
+    attacks = _adaptive_attack_registry(context)
+
+    rows: List[AdvTrainRow] = []
+    for attack_name, regularizer in attacks.items():
+
+        def factory(model, _target, _regularizer=regularizer):
+            return regularizer_aware_rp2(model, _regularizer, config=rp2_config_from_profile(profile))
+
+        sweep = attack_sweep(
+            adv_trained,
+            context,
+            profile.target_classes,
+            attack_factory=factory,
+            cache_tag=f"advtrain:{attack_name}",
+        )
+        rows.append(
+            AdvTrainRow(
+                model_name="adv_train",
+                attack_name=attack_name,
+                average_success_rate=sweep.average_success_rate,
+                worst_success_rate=sweep.worst_success_rate,
+                dissimilarity=sweep.dissimilarity,
+            )
+        )
+
+    if include_defended_models:
+        from .adaptive import run_adaptive_evaluation
+
+        defended_names = [
+            name
+            for name, config in context.table2_configs().items()
+            if config.kind in {"tv", "tik_hf", "tik_pseudo"}
+        ]
+        for adaptive_row in run_adaptive_evaluation(context, model_names=defended_names):
+            rows.append(
+                AdvTrainRow(
+                    model_name=adaptive_row.model_name,
+                    attack_name=adaptive_row.attack_name,
+                    average_success_rate=adaptive_row.average_success_rate,
+                    worst_success_rate=adaptive_row.worst_success_rate,
+                    dissimilarity=adaptive_row.dissimilarity,
+                )
+            )
+    return rows
+
+
+def run_table5(profile: Optional[ExperimentProfile] = None) -> List[Dict[str, object]]:
+    """Convenience wrapper returning Table V as a list of flat dictionaries."""
+
+    context = get_context(profile)
+    return [row.as_dict() for row in run_advtrain_evaluation(context)]

@@ -1,0 +1,172 @@
+"""Shared experiment context: dataset, evaluation set and trained models.
+
+Several paper tables evaluate the *same* trained models under different
+attacks (Table II white-box, Table III adaptive, Table IV PGD, Figures 5/6
+scatter plots).  :class:`ExperimentContext` builds the dataset and
+evaluation set once, trains each defense variant lazily on first use and
+caches it, so a full reproduction run -- or a benchmark session covering
+every table -- trains each model exactly once.
+
+:func:`get_context` maintains a process-wide cache keyed by profile name,
+which is what the pytest-benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.blurnet import DefendedClassifier
+from ..core.config import DefenseConfig, table1_variants, table2_variants
+from ..data.evaluation import make_stop_sign_eval_set, sticker_mask
+from ..data.lisa import SignDataset, make_dataset, train_test_split
+from ..models.training import TrainingConfig
+from ..nn.serialization import load_state_dict, state_dict
+from .config import ExperimentProfile, fast_profile
+
+__all__ = ["ExperimentContext", "get_context", "clear_context_cache"]
+
+
+class ExperimentContext:
+    """Datasets plus a lazy cache of trained defense variants for one profile."""
+
+    def __init__(self, profile: Optional[ExperimentProfile] = None) -> None:
+        self.profile = profile if profile is not None else fast_profile()
+        self._train_set: Optional[SignDataset] = None
+        self._test_set: Optional[SignDataset] = None
+        self._eval_set: Optional[SignDataset] = None
+        self._sticker_masks: Optional[np.ndarray] = None
+        self._models: Dict[str, DefendedClassifier] = {}
+        #: Memoized attack sweeps keyed by (model name, attack tag); the
+        #: white-box rows are reused by the scatter figures and Table V so
+        #: each (model, target) attack runs at most once per context.
+        self.sweep_cache: Dict[object, object] = {}
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def _ensure_data(self) -> None:
+        if self._train_set is not None:
+            return
+        profile = self.profile
+        dataset = make_dataset(
+            profile.dataset_size, image_size=profile.image_size, seed=profile.seed
+        )
+        self._train_set, self._test_set = train_test_split(
+            dataset, profile.test_fraction, seed=profile.seed
+        )
+        self._eval_set = make_stop_sign_eval_set(
+            num_views=profile.eval_views, image_size=profile.image_size, seed=profile.seed + 1234
+        )
+        self._sticker_masks = np.stack([sticker_mask(mask) for mask in self._eval_set.masks])
+
+    @property
+    def train_set(self) -> SignDataset:
+        """The synthetic LISA-like training split."""
+
+        self._ensure_data()
+        return self._train_set
+
+    @property
+    def test_set(self) -> SignDataset:
+        """The held-out split used for the legitimate-accuracy column."""
+
+        self._ensure_data()
+        return self._test_set
+
+    @property
+    def eval_set(self) -> SignDataset:
+        """The multi-view stop-sign attack evaluation set."""
+
+        self._ensure_data()
+        return self._eval_set
+
+    @property
+    def sticker_masks(self) -> np.ndarray:
+        """Per-view RP2 sticker masks for the evaluation set."""
+
+        self._ensure_data()
+        return self._sticker_masks
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def training_config(self) -> TrainingConfig:
+        """Training configuration derived from the profile."""
+
+        profile = self.profile
+        return TrainingConfig(
+            epochs=profile.epochs,
+            batch_size=profile.batch_size,
+            learning_rate=profile.learning_rate,
+            seed=profile.seed,
+        )
+
+    def get_model(self, config: DefenseConfig) -> DefendedClassifier:
+        """Return the trained classifier for ``config``, training it on first use."""
+
+        if config.name in self._models:
+            return self._models[config.name]
+        classifier = DefendedClassifier.build(
+            config, seed=self.profile.seed, image_size=self.profile.image_size
+        )
+        classifier.fit(self.train_set, self.training_config())
+        self._models[config.name] = classifier
+        return classifier
+
+    def get_baseline(self) -> DefendedClassifier:
+        """The undefended baseline classifier."""
+
+        return self.get_model(DefenseConfig.baseline())
+
+    def table1_models(self) -> Dict[str, DefendedClassifier]:
+        """The Table I model set (shared vanilla weights plus frozen blur layers)."""
+
+        baseline = self.get_baseline()
+        baseline_weights = state_dict(baseline.model)
+        models: Dict[str, DefendedClassifier] = {"baseline": baseline}
+        for name, config in table1_variants().items():
+            if name == "baseline":
+                continue
+            if name in self._models:
+                models[name] = self._models[name]
+                continue
+            classifier = DefendedClassifier.build(
+                config, seed=self.profile.seed, image_size=self.profile.image_size
+            )
+            load_state_dict(classifier.model, baseline_weights, strict=False)
+            self._models[name] = classifier
+            models[name] = classifier
+        return models
+
+    def table2_configs(self) -> Dict[str, DefenseConfig]:
+        """Defense configurations of every Table II row under this profile."""
+
+        return table2_variants(
+            include_baselines=self.profile.include_smoothing_baselines,
+            smoothing_samples=self.profile.smoothing_samples,
+        )
+
+    def table2_models(self) -> Dict[str, DefendedClassifier]:
+        """Train (or fetch) every Table II variant."""
+
+        return {name: self.get_model(config) for name, config in self.table2_configs().items()}
+
+
+_CONTEXT_CACHE: Dict[str, ExperimentContext] = {}
+
+
+def get_context(profile: Optional[ExperimentProfile] = None) -> ExperimentContext:
+    """Return the process-wide context for ``profile`` (creating it if needed)."""
+
+    profile = profile if profile is not None else fast_profile()
+    if profile.name not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[profile.name] = ExperimentContext(profile)
+    return _CONTEXT_CACHE[profile.name]
+
+
+def clear_context_cache() -> None:
+    """Drop all cached contexts (used by tests to force retraining)."""
+
+    _CONTEXT_CACHE.clear()

@@ -1,0 +1,145 @@
+"""End-to-end reproduction runner.
+
+``python -m repro.experiments.runner [--profile fast|full|smoke]`` runs every
+table and figure of the paper, prints the resulting text tables and writes
+the raw rows as JSON under ``results/<profile>/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .adaptive import run_adaptive_evaluation
+from .advtrain_eval import run_advtrain_evaluation
+from .blackbox import run_blackbox_evaluation
+from .config import ExperimentProfile, fast_profile, full_profile, smoke_profile
+from .context import get_context
+from .figures import (
+    figure1_input_spectra,
+    figure2_feature_spectra,
+    figure3_dct_sweep,
+    figure4_layer2_spectra,
+    figure5_scatter,
+    figure6_scatter,
+)
+from .pgd_eval import run_pgd_evaluation
+from .reporting import print_table, save_rows
+from .whitebox import run_whitebox_evaluation
+
+__all__ = ["run_all", "main", "PROFILES"]
+
+PROFILES = {
+    "fast": fast_profile,
+    "full": full_profile,
+    "smoke": smoke_profile,
+}
+
+
+def run_all(profile: Optional[ExperimentProfile] = None, output_dir: Optional[Path] = None) -> Dict[str, List[Dict[str, object]]]:
+    """Run every table and figure; returns the row dictionaries keyed by experiment id."""
+
+    profile = profile if profile is not None else fast_profile()
+    context = get_context(profile)
+    output_dir = Path(output_dir) if output_dir is not None else Path("results") / profile.name
+
+    results: Dict[str, List[Dict[str, object]]] = {}
+
+    def record(key: str, title: str, rows: List[Dict[str, object]]) -> None:
+        """Store, print and persist one experiment's rows as soon as it finishes."""
+
+        results[key] = rows
+        print_table(title, rows)
+        save_rows(rows, output_dir / f"{key}.json")
+
+    record(
+        "table1",
+        "Table I (black-box transfer)",
+        [row.as_dict() for row in run_blackbox_evaluation(context)],
+    )
+    record(
+        "table2",
+        "Table II (white-box RP2)",
+        [row.as_dict() for row in run_whitebox_evaluation(context)],
+    )
+    record(
+        "table3",
+        "Table III (adaptive attacks)",
+        [row.as_dict() for row in run_adaptive_evaluation(context)],
+    )
+    record(
+        "table4",
+        "Table IV (PGD)",
+        [row.as_dict() for row in run_pgd_evaluation(context)],
+    )
+    record(
+        "table5",
+        "Table V (adversarial training vs adaptive attacks)",
+        [row.as_dict() for row in run_advtrain_evaluation(context)],
+    )
+
+    figure1 = figure1_input_spectra(context)
+    record(
+        "figure1",
+        "Figure 1 (input spectra summary)",
+        [
+            {"image": name, "high_frequency_fraction": value}
+            for name, value in figure1.high_frequency_fractions.items()
+        ],
+    )
+
+    figure2 = figure2_feature_spectra(context)
+    record(
+        "figure2",
+        "Figure 2 (feature-map spectra summary)",
+        [
+            {
+                "channel": index,
+                "difference_hf": float(figure2["summary_difference_hf"][index]),
+                "blurred_difference_hf": float(figure2["summary_blurred_difference_hf"][index]),
+            }
+            for index in range(len(figure2["summary_difference_hf"]))
+        ],
+    )
+
+    record("figure3", "Figure 3 (DCT mask dimension sweep)", figure3_dct_sweep(context))
+
+    figure4 = figure4_layer2_spectra(context)
+    record(
+        "figure4",
+        "Figure 4 (layer-2 spectra summary)",
+        [
+            {"quantity": name, "value": value}
+            for name, value in figure4.high_frequency_fractions.items()
+        ],
+    )
+
+    record("figure5", "Figure 5 (ASR vs L2, conv/TV)", figure5_scatter(context))
+    record("figure6", "Figure 6 (ASR vs L2, Tikhonov/Gaussian)", figure6_scatter(context))
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Command-line entry point."""
+
+    parser = argparse.ArgumentParser(description="Run the BlurNet reproduction experiments")
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="fast",
+        help="experiment profile (fast: laptop scale, full: paper-scale sweep)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="directory for JSON results (default: results/<profile>)",
+    )
+    arguments = parser.parse_args(argv)
+    profile = PROFILES[arguments.profile]()
+    print(profile.describe())
+    run_all(profile, Path(arguments.output_dir) if arguments.output_dir else None)
+
+
+if __name__ == "__main__":
+    main()

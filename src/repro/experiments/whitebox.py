@@ -1,0 +1,161 @@
+"""Table II: white-box RP2 evaluation of every defense variant.
+
+For each defended classifier the experiment sweeps the RP2 target class
+over ``profile.target_classes`` (all 17 non-stop classes in the full
+profile), attacking the stop-sign evaluation set with full knowledge of the
+model parameters, and reports
+
+* the legitimate accuracy (held-out test set),
+* the average attack success rate over target classes,
+* the worst-case attack success rate,
+* the mean L2 dissimilarity of the adversarial examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import attack_success_rate, l2_dissimilarity
+from ..attacks.rp2 import RP2Attack, RP2Config
+from ..core.blurnet import DefendedClassifier
+from .config import ExperimentProfile
+from .context import ExperimentContext, get_context
+
+__all__ = ["WhiteboxRow", "attack_sweep", "run_whitebox_evaluation", "run_table2"]
+
+
+@dataclass
+class WhiteboxRow:
+    """One row of Table II."""
+
+    model_name: str
+    alpha: float
+    legitimate_accuracy: float
+    average_success_rate: float
+    worst_success_rate: float
+    dissimilarity: float
+    per_target_success: Dict[int, float]
+    per_target_dissimilarity: Dict[int, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row rendered as a flat dictionary (for reporting)."""
+
+        return {
+            "model": self.model_name,
+            "alpha": self.alpha,
+            "legit_acc": self.legitimate_accuracy,
+            "avg_success": self.average_success_rate,
+            "worst_success": self.worst_success_rate,
+            "l2_dissimilarity": self.dissimilarity,
+        }
+
+
+def rp2_config_from_profile(profile: ExperimentProfile, seed_offset: int = 0) -> RP2Config:
+    """RP2 hyper-parameters derived from an experiment profile."""
+
+    return RP2Config(
+        lambda_reg=profile.attack_lambda,
+        nps_weight=profile.attack_nps_weight,
+        steps=profile.attack_steps,
+        learning_rate=profile.attack_learning_rate,
+        seed=profile.seed + seed_offset,
+    )
+
+
+def attack_sweep(
+    classifier: DefendedClassifier,
+    context: ExperimentContext,
+    target_classes: Sequence[int],
+    attack_factory=None,
+    cache_tag: Optional[str] = "whitebox",
+) -> WhiteboxRow:
+    """Run an RP2 target-class sweep against one classifier.
+
+    Parameters
+    ----------
+    classifier:
+        The defended model under attack.
+    context:
+        Experiment context providing the evaluation views and sticker masks.
+    target_classes:
+        RP2 target classes to sweep.
+    attack_factory:
+        Optional callable ``(model, target_class) -> RP2Attack`` used by the
+        adaptive evaluation to substitute a defense-aware attack; defaults to
+        the plain white-box RP2 attack.
+    cache_tag:
+        Sweeps are memoized in ``context.sweep_cache`` under
+        ``(model name, cache_tag, targets)``; pass ``None`` to disable
+        memoization.
+    """
+
+    cache_key = None
+    if cache_tag is not None:
+        cache_key = (classifier.name, cache_tag, tuple(target_classes))
+        cached = context.sweep_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+    profile = context.profile
+    evaluation = context.eval_set
+    masks = context.sticker_masks
+    clean_predictions = classifier.predict(evaluation.images)
+
+    per_target_success: Dict[int, float] = {}
+    per_target_dissimilarity: Dict[int, float] = {}
+    for target in target_classes:
+        if attack_factory is None:
+            attack = RP2Attack(classifier.model, rp2_config_from_profile(profile))
+        else:
+            attack = attack_factory(classifier.model, target)
+        result = attack.generate(evaluation.images, masks, target)
+        adversarial_predictions = classifier.predict(result.adversarial_images)
+        per_target_success[target] = attack_success_rate(
+            clean_predictions, adversarial_predictions
+        )
+        per_target_dissimilarity[target] = l2_dissimilarity(
+            evaluation.images, result.adversarial_images
+        )
+
+    success_values = list(per_target_success.values())
+    dissimilarity_values = list(per_target_dissimilarity.values())
+    row = WhiteboxRow(
+        model_name=classifier.name,
+        alpha=classifier.config.alpha,
+        legitimate_accuracy=classifier.evaluate(context.test_set),
+        average_success_rate=float(np.mean(success_values)),
+        worst_success_rate=float(np.max(success_values)),
+        dissimilarity=float(np.mean(dissimilarity_values)),
+        per_target_success=per_target_success,
+        per_target_dissimilarity=per_target_dissimilarity,
+    )
+    if cache_key is not None:
+        context.sweep_cache[cache_key] = row
+    return row
+
+
+def run_whitebox_evaluation(
+    context: Optional[ExperimentContext] = None,
+    model_names: Optional[Sequence[str]] = None,
+) -> List[WhiteboxRow]:
+    """Run the Table II sweep for every (or a subset of) defense variants."""
+
+    context = context if context is not None else get_context()
+    configs = context.table2_configs()
+    if model_names is not None:
+        configs = {name: configs[name] for name in model_names}
+    rows: List[WhiteboxRow] = []
+    for name, config in configs.items():
+        classifier = context.get_model(config)
+        rows.append(attack_sweep(classifier, context, context.profile.target_classes))
+    return rows
+
+
+def run_table2(profile: Optional[ExperimentProfile] = None) -> List[Dict[str, object]]:
+    """Convenience wrapper returning Table II as a list of flat dictionaries."""
+
+    context = get_context(profile)
+    return [row.as_dict() for row in run_whitebox_evaluation(context)]

@@ -1,0 +1,28 @@
+"""LISA-CNN classifier zoo, training loops and variant factory."""
+
+from .factory import build_table1_models, build_table2_models, build_variant, train_variant
+from .lisa_cnn import FIRST_LAYER_CHANNELS, LisaCNNConfig, build_lisa_cnn
+from .training import (
+    TrainingConfig,
+    TrainingHistory,
+    evaluate_accuracy,
+    predict_classes,
+    predict_logits,
+    train_classifier,
+)
+
+__all__ = [
+    "LisaCNNConfig",
+    "build_lisa_cnn",
+    "FIRST_LAYER_CHANNELS",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_classifier",
+    "evaluate_accuracy",
+    "predict_logits",
+    "predict_classes",
+    "build_variant",
+    "train_variant",
+    "build_table1_models",
+    "build_table2_models",
+]

@@ -1,0 +1,90 @@
+"""Convenience builders for the model variants used by the experiments.
+
+Thin wrappers over :class:`repro.core.blurnet.DefendedClassifier` that
+build and train the full set of variants for a table in one call.  The
+experiment harness (:mod:`repro.experiments`) uses these so every benchmark
+constructs its models the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.blurnet import DefendedClassifier
+from ..core.config import DefenseConfig, table1_variants, table2_variants
+from ..data.lisa import SignDataset
+from ..models.training import TrainingConfig
+from ..nn.serialization import load_state_dict, state_dict
+
+__all__ = [
+    "build_variant",
+    "train_variant",
+    "build_table1_models",
+    "build_table2_models",
+]
+
+
+def build_variant(config: DefenseConfig, seed: int = 0, image_size: int = 32) -> DefendedClassifier:
+    """Build (but do not train) the defended classifier for one config."""
+
+    return DefendedClassifier.build(config, seed=seed, image_size=image_size)
+
+
+def train_variant(
+    config: DefenseConfig,
+    train_set: SignDataset,
+    training_config: Optional[TrainingConfig] = None,
+    seed: int = 0,
+) -> DefendedClassifier:
+    """Build and train the defended classifier for one config."""
+
+    classifier = build_variant(config, seed=seed, image_size=train_set.image_size)
+    classifier.fit(train_set, training_config)
+    return classifier
+
+
+def build_table1_models(
+    train_set: SignDataset,
+    training_config: Optional[TrainingConfig] = None,
+    seed: int = 0,
+) -> Dict[str, DefendedClassifier]:
+    """Train the Table I model set.
+
+    The black-box experiment reuses the *same trained weights* for the
+    baseline and every filtered variant (the defense only adds a frozen blur
+    layer), exactly as in the paper: the vanilla network is trained once and
+    the blur layers are spliced around its weights.
+    """
+
+    variants = table1_variants()
+    baseline = train_variant(variants["baseline"], train_set, training_config, seed=seed)
+    baseline_weights = state_dict(baseline.model)
+
+    models: Dict[str, DefendedClassifier] = {"baseline": baseline}
+    for name, config in variants.items():
+        if name == "baseline":
+            continue
+        classifier = build_variant(config, seed=seed, image_size=train_set.image_size)
+        # Copy the shared trained weights into the defended architecture;
+        # frozen blur layers have no trainable parameters so the state dicts
+        # are compatible by construction.
+        load_state_dict(classifier.model, baseline_weights, strict=False)
+        models[name] = classifier
+    return models
+
+
+def build_table2_models(
+    train_set: SignDataset,
+    training_config: Optional[TrainingConfig] = None,
+    seed: int = 0,
+    include_baselines: bool = True,
+    smoothing_samples: int = 100,
+) -> Dict[str, DefendedClassifier]:
+    """Build and train every Table II variant (each trained from scratch)."""
+
+    models: Dict[str, DefendedClassifier] = {}
+    for name, config in table2_variants(
+        include_baselines=include_baselines, smoothing_samples=smoothing_samples
+    ).items():
+        models[name] = train_variant(config, train_set, training_config, seed=seed)
+    return models

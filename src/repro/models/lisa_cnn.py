@@ -1,0 +1,179 @@
+"""The LISA-CNN road-sign classifier architecture.
+
+The paper uses "a standard 4 layer DNN classifier in the Cleverhans
+framework ... comprised of 3 convolution layers and a fully-connected
+layer".  :func:`build_lisa_cnn` reproduces that architecture on the NumPy
+substrate, scaled to the 32x32 synthetic dataset, and supports the
+architectural variants evaluated in the paper:
+
+* an optional frozen :class:`~repro.core.filter_layer.InputBlur` in front of
+  the network (Table I "input filter" rows);
+* an optional frozen :class:`~repro.core.filter_layer.FeatureMapBlur` after
+  the first convolution (Table I "filter on L1 maps" rows);
+* an optional *trainable* :class:`~repro.nn.layers.DepthwiseConv2D` after
+  the first convolution (the Section IV.A defense trained with the
+  L-infinity regularizer; 3x3, 5x5 and 7x7 variants in Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.filter_layer import FeatureMapBlur, InputBlur
+from ..data.signs import NUM_CLASSES
+from ..nn.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["LisaCNNConfig", "build_lisa_cnn", "FIRST_LAYER_CHANNELS"]
+
+#: Number of output channels of the first convolution layer; the BlurNet
+#: filter layer and all feature-map regularizers operate on these maps.
+FIRST_LAYER_CHANNELS = 16
+
+
+class LisaCNNConfig:
+    """Configuration of the LISA-CNN classifier.
+
+    Parameters
+    ----------
+    image_size:
+        Input height/width (32 by default).
+    num_classes:
+        Number of output classes (the 18 LISA classes by default).
+    first_channels, second_channels, third_channels:
+        Channel widths of the three convolution layers.
+    input_blur_kernel:
+        If set, a frozen input blur of this width is prepended.
+    feature_blur_kernel:
+        If set, a frozen depthwise blur of this width follows conv1.
+    depthwise_kernel:
+        If set, a *trainable* depthwise convolution of this width follows
+        conv1 (the L-infinity-regularized defense layer).
+    seed:
+        Seed for weight initialization.
+    """
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        num_classes: int = NUM_CLASSES,
+        first_channels: int = FIRST_LAYER_CHANNELS,
+        second_channels: int = 32,
+        third_channels: int = 64,
+        input_blur_kernel: Optional[int] = None,
+        feature_blur_kernel: Optional[int] = None,
+        depthwise_kernel: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.first_channels = first_channels
+        self.second_channels = second_channels
+        self.third_channels = third_channels
+        self.input_blur_kernel = input_blur_kernel
+        self.feature_blur_kernel = feature_blur_kernel
+        self.depthwise_kernel = depthwise_kernel
+        self.seed = seed
+        if input_blur_kernel is not None and feature_blur_kernel is not None:
+            raise ValueError("choose either an input blur or a feature-map blur, not both")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LisaCNNConfig(image_size={self.image_size}, num_classes={self.num_classes},"
+            f" input_blur={self.input_blur_kernel}, feature_blur={self.feature_blur_kernel},"
+            f" depthwise={self.depthwise_kernel}, seed={self.seed})"
+        )
+
+
+def build_lisa_cnn(config: Optional[LisaCNNConfig] = None) -> Sequential:
+    """Construct the (possibly defended) LISA-CNN classifier.
+
+    The base architecture is::
+
+        conv1 (k=5, stride 1, same padding) -> ReLU -> maxpool 2
+        conv2 (k=3, same padding)            -> ReLU -> maxpool 2
+        conv3 (k=3, same padding)            -> ReLU -> maxpool 2
+        flatten -> dense(num_classes)
+
+    Optional blur / depthwise layers are spliced in immediately after the
+    first layer's ReLU so they act on the rectified first-layer feature maps
+    ("the output of the first layer" in the paper's terminology).
+    """
+
+    config = config if config is not None else LisaCNNConfig()
+    rng = np.random.default_rng(config.seed)
+
+    layers = []
+    if config.input_blur_kernel is not None:
+        layers.append(InputBlur(config.input_blur_kernel))
+
+    layers.append(
+        Conv2D(3, config.first_channels, kernel_size=5, stride=1, padding=2, rng=rng, name="conv1")
+    )
+    layers.append(ReLU(name="relu1"))
+    # Filtering layers act on the *rectified* first-layer feature maps ("the
+    # output of the first layer").  Placing them after the ReLU matters: a
+    # linear blur commutes with the (linear) convolution, so a pre-activation
+    # feature blur would be mathematically identical to blurring the input.
+    if config.feature_blur_kernel is not None:
+        layers.append(
+            FeatureMapBlur(config.first_channels, config.feature_blur_kernel, name="feature_blur")
+        )
+    if config.depthwise_kernel is not None:
+        layers.append(
+            DepthwiseConv2D(
+                config.first_channels,
+                config.depthwise_kernel,
+                trainable=True,
+                name="depthwise_filter",
+            )
+        )
+    layers.extend(
+        [
+            MaxPool2D(2, name="pool1"),
+            Conv2D(
+                config.first_channels,
+                config.second_channels,
+                kernel_size=3,
+                padding=1,
+                rng=rng,
+                name="conv2",
+            ),
+            ReLU(name="relu2"),
+            MaxPool2D(2, name="pool2"),
+            Conv2D(
+                config.second_channels,
+                config.third_channels,
+                kernel_size=3,
+                padding=1,
+                rng=rng,
+                name="conv3",
+            ),
+            ReLU(name="relu3"),
+            MaxPool2D(2, name="pool3"),
+            Flatten(name="flatten"),
+            Dense(
+                config.third_channels * (config.image_size // 8) ** 2,
+                config.num_classes,
+                rng=rng,
+                name="dense",
+            ),
+        ]
+    )
+    name = "lisa_cnn"
+    if config.input_blur_kernel is not None:
+        name += f"_inputblur{config.input_blur_kernel}"
+    if config.feature_blur_kernel is not None:
+        name += f"_featureblur{config.feature_blur_kernel}"
+    if config.depthwise_kernel is not None:
+        name += f"_depthwise{config.depthwise_kernel}"
+    return Sequential(layers, name=name)

@@ -1,0 +1,193 @@
+"""Training loops for the LISA-CNN classifiers.
+
+The same trainer is used for every model in the paper's evaluation; the
+defense variants differ only in
+
+* the architecture (frozen blur layer / trainable depthwise layer),
+* the :class:`~repro.core.regularizers.FeatureMapRegularizer` added to the
+  loss (Eqs. (2), (4), (6), (7)),
+* Gaussian data augmentation (the randomized-smoothing baselines), and
+* adversarial training (the PGD baseline), handled by
+  :mod:`repro.defenses.adversarial_training` which wraps this trainer.
+
+The paper trains with ADAM (beta1=0.9, beta2=0.999, eps=1e-8) for 2000
+epochs on the full LISA dataset; the reproduction uses the same optimizer on
+the synthetic dataset with far fewer epochs (see
+:mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.regularizers import FeatureMapRegularizer, NullRegularizer
+from ..data.lisa import SignDataset
+from ..data.loaders import iterate_batches
+from ..nn.functional import cross_entropy
+from ..nn.layers import Sequential
+from ..nn.metrics import accuracy
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["TrainingConfig", "TrainingHistory", "train_classifier", "evaluate_accuracy", "predict_logits", "predict_classes"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run.
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the training set.
+    batch_size:
+        Mini-batch size.
+    learning_rate:
+        ADAM learning rate.
+    gaussian_sigma:
+        When positive, each batch is augmented with i.i.d. Gaussian noise of
+        this standard deviation (the Gaussian-augmentation baselines of
+        Table II).
+    seed:
+        Seed controlling batch shuffling and augmentation noise.
+    verbose:
+        When true, per-epoch metrics are printed.
+    """
+
+    epochs: int = 15
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    gaussian_sigma: float = 0.0
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded during training."""
+
+    losses: List[float] = field(default_factory=list)
+    penalties: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    def final_accuracy(self) -> float:
+        """Training accuracy of the last epoch (0.0 when never evaluated)."""
+
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def predict_logits(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Run inference and return raw logits as a plain NumPy array."""
+
+    model.eval()
+    outputs: List[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = Tensor(images[start : start + batch_size])
+            outputs.append(model(batch).data)
+    return np.concatenate(outputs, axis=0)
+
+
+def predict_classes(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Arg-max class predictions for a batch of images."""
+
+    return predict_logits(model, images, batch_size).argmax(axis=-1)
+
+
+def evaluate_accuracy(model: Sequential, dataset: SignDataset, batch_size: int = 128) -> float:
+    """Classification accuracy of ``model`` on ``dataset``."""
+
+    logits = predict_logits(model, dataset.images, batch_size)
+    return accuracy(logits, dataset.labels)
+
+
+def train_classifier(
+    model: Sequential,
+    train_set: SignDataset,
+    config: Optional[TrainingConfig] = None,
+    regularizer: Optional[FeatureMapRegularizer] = None,
+    batch_hook: Optional[Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]] = None,
+) -> TrainingHistory:
+    """Train ``model`` on ``train_set`` with an optional feature-map regularizer.
+
+    Parameters
+    ----------
+    model:
+        The classifier to train (modified in place).
+    train_set:
+        Training data.
+    config:
+        Optimization hyper-parameters.
+    regularizer:
+        Feature-map regularizer added to the cross-entropy loss; defaults to
+        the no-op :class:`~repro.core.regularizers.NullRegularizer`.
+    batch_hook:
+        Optional callable ``(images, labels, rng) -> images`` applied to
+        every batch before the forward pass.  Adversarial training uses this
+        hook to replace half of each batch with PGD examples.
+
+    Returns
+    -------
+    A :class:`TrainingHistory` with per-epoch loss, penalty and accuracy.
+    """
+
+    config = config if config is not None else TrainingConfig()
+    regularizer = regularizer if regularizer is not None else NullRegularizer()
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
+    history = TrainingHistory()
+
+    needs_activations = not isinstance(regularizer, NullRegularizer)
+
+    model.train()
+    for epoch in range(config.epochs):
+        epoch_losses: List[float] = []
+        epoch_penalties: List[float] = []
+        correct = 0
+        seen = 0
+        for images, labels, _masks in iterate_batches(
+            train_set, config.batch_size, shuffle=True, rng=rng
+        ):
+            if config.gaussian_sigma > 0.0:
+                images = np.clip(
+                    images + rng.normal(0.0, config.gaussian_sigma, size=images.shape), 0.0, 1.0
+                )
+            if batch_hook is not None:
+                images = batch_hook(images, labels, rng)
+
+            inputs = Tensor(images)
+            if needs_activations:
+                logits, activations = model.forward_with_activations(inputs)
+            else:
+                logits = model(inputs)
+                activations = {}
+            loss = cross_entropy(logits, labels)
+            if needs_activations:
+                penalty = regularizer.scaled_penalty(model, inputs, activations)
+                total_loss = loss + penalty
+                epoch_penalties.append(float(penalty.item()))
+            else:
+                total_loss = loss
+                epoch_penalties.append(0.0)
+
+            model.zero_grad()
+            total_loss.backward()
+            optimizer.step()
+
+            epoch_losses.append(float(loss.item()))
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            seen += len(labels)
+
+        history.losses.append(float(np.mean(epoch_losses)))
+        history.penalties.append(float(np.mean(epoch_penalties)))
+        history.accuracies.append(correct / max(seen, 1))
+        if config.verbose:
+            print(
+                f"epoch {epoch + 1:3d}/{config.epochs}: loss={history.losses[-1]:.4f} "
+                f"penalty={history.penalties[-1]:.4f} train_acc={history.accuracies[-1]:.3f}"
+            )
+    model.eval()
+    return history

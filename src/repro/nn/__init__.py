@@ -1,0 +1,76 @@
+"""NumPy autodiff neural-network substrate.
+
+This subpackage provides the minimal deep-learning framework the BlurNet
+reproduction is built on: a reverse-mode autodiff :class:`Tensor`,
+convolution/pooling primitives, layer and container abstractions, losses,
+optimizers and (de)serialization helpers.
+"""
+
+from .conv import avg_pool2d, conv2d, depthwise_conv2d, max_pool2d
+from .functional import (
+    cross_entropy,
+    frobenius_norm,
+    linf_norm,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    softmax,
+    total_variation_2d,
+    total_variation_image,
+)
+from .layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from .metrics import accuracy, confusion_matrix, top_k_accuracy
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_state_dict, load_weights, save_weights, state_dict
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "one_hot",
+    "total_variation_2d",
+    "total_variation_image",
+    "linf_norm",
+    "frobenius_norm",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "state_dict",
+    "load_state_dict",
+    "save_weights",
+    "load_weights",
+]

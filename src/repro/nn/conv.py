@@ -1,0 +1,258 @@
+"""Convolution and pooling primitives on the autodiff :class:`Tensor`.
+
+All spatial operators use the ``NCHW`` layout (batch, channels, height,
+width).  Convolutions are implemented with an im2col lowering so the heavy
+lifting is a single dense matrix multiplication, which keeps the pure-NumPy
+substrate fast enough to train the small LISA-CNN classifiers used in the
+BlurNet experiments.
+
+The public functions are:
+
+* :func:`conv2d` -- standard cross-correlation with ``(C_out, C_in, K, K)`` weights.
+* :func:`depthwise_conv2d` -- per-channel convolution used by the BlurNet
+  filter layer (``(C, K, K)`` weights, one kernel per channel).
+* :func:`max_pool2d` / :func:`avg_pool2d` -- spatial pooling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+]
+
+
+def _output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+) -> Tuple[np.ndarray, int, int]:
+    """Lower image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+    kernel:
+        Square kernel size.
+    stride:
+        Window stride.
+    pad:
+        Symmetric zero padding applied to H and W.
+
+    Returns
+    -------
+    cols, out_h, out_w:
+        ``cols`` has shape ``(N, C, kernel, kernel, out_h, out_w)``.
+    """
+
+    batch, channels, height, width = images.shape
+    out_h = _output_size(height, kernel, stride, pad)
+    out_w = _output_size(width, kernel, stride, pad)
+
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=images.dtype)
+    for row in range(kernel):
+        row_end = row + stride * out_h
+        for col in range(kernel):
+            col_end = col + stride * out_w
+            cols[:, :, row, col, :, :] = padded[:, :, row:row_end:stride, col:col_end:stride]
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` -- scatter-add columns back to image space."""
+
+    batch, channels, height, width = input_shape
+    out_h = _output_size(height, kernel, stride, pad)
+    out_w = _output_size(width, kernel, stride, pad)
+
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad), dtype=cols.dtype)
+    for row in range(kernel):
+        row_end = row + stride * out_h
+        for col in range(kernel):
+            col_end = col + stride * out_w
+            padded[:, :, row:row_end:stride, col:col_end:stride] += cols[:, :, row, col, :, :]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+def conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation.
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Tensor of shape ``(C_out, C_in, K, K)``.
+    bias:
+        Optional tensor of shape ``(C_out,)``.
+    stride, padding:
+        Standard convolution hyper-parameters.
+    """
+
+    batch, in_channels, height, width = inputs.shape
+    out_channels, weight_in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if weight_in_channels != in_channels:
+        raise ValueError(
+            f"weight expects {weight_in_channels} input channels, got {in_channels}"
+        )
+
+    cols, out_h, out_w = im2col(inputs.data, kernel, stride, padding)
+    # (N, C*K*K, out_h*out_w)
+    cols_matrix = cols.reshape(batch, in_channels * kernel * kernel, out_h * out_w)
+    weight_matrix = weight.data.reshape(out_channels, in_channels * kernel * kernel)
+
+    output = np.einsum("ok,nkp->nop", weight_matrix, cols_matrix)
+    output = output.reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        output = output + bias.data.reshape(1, out_channels, 1, 1)
+
+    parents = [inputs, weight] if bias is None else [inputs, weight, bias]
+
+    def backward(out: Tensor) -> None:
+        grad_output = out.grad.reshape(batch, out_channels, out_h * out_w)
+        if weight.requires_grad:
+            grad_weight = np.einsum("nop,nkp->ok", grad_output, cols_matrix)
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
+        if inputs.requires_grad:
+            grad_cols = np.einsum("ok,nop->nkp", weight_matrix, grad_output)
+            grad_cols = grad_cols.reshape(batch, in_channels, kernel, kernel, out_h, out_w)
+            inputs._accumulate(
+                col2im(grad_cols, inputs.shape, kernel, stride, padding)
+            )
+
+    return Tensor._make(output, parents, backward, name="conv2d")
+
+
+def depthwise_conv2d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Depthwise 2-D convolution (one kernel per channel).
+
+    This is the filtering primitive at the heart of BlurNet: a fixed or
+    learned blur kernel is applied independently to every feature-map
+    channel.
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(N, C, H, W)``.
+    weight:
+        Tensor of shape ``(C, K, K)``.
+    bias:
+        Optional tensor of shape ``(C,)``.
+    """
+
+    batch, channels, height, width = inputs.shape
+    weight_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if weight_channels != channels:
+        raise ValueError(
+            f"depthwise weight expects {weight_channels} channels, got {channels}"
+        )
+
+    cols, out_h, out_w = im2col(inputs.data, kernel, stride, padding)
+    # cols: (N, C, K, K, out_h, out_w); contract K x K per channel.
+    output = np.einsum("ncklhw,ckl->nchw", cols, weight.data)
+    if bias is not None:
+        output = output + bias.data.reshape(1, channels, 1, 1)
+
+    parents = [inputs, weight] if bias is None else [inputs, weight, bias]
+
+    def backward(out: Tensor) -> None:
+        grad_output = out.grad
+        if weight.requires_grad:
+            grad_weight = np.einsum("ncklhw,nchw->ckl", cols, grad_output)
+            weight._accumulate(grad_weight)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_output.sum(axis=(0, 2, 3)))
+        if inputs.requires_grad:
+            grad_cols = np.einsum("ckl,nchw->ncklhw", weight.data, grad_output)
+            inputs._accumulate(
+                col2im(grad_cols, inputs.shape, kernel, stride, padding)
+            )
+
+    return Tensor._make(output, parents, backward, name="depthwise_conv2d")
+
+
+def max_pool2d(inputs: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    stride = stride if stride is not None else kernel
+    batch, channels, height, width = inputs.shape
+    cols, out_h, out_w = im2col(inputs.data, kernel, stride, 0)
+    windows = cols.reshape(batch, channels, kernel * kernel, out_h, out_w)
+    argmax = windows.argmax(axis=2)
+    output = windows.max(axis=2)
+
+    def backward(out: Tensor) -> None:
+        if not inputs.requires_grad:
+            return
+        grad_windows = np.zeros_like(windows)
+        n_idx, c_idx, h_idx, w_idx = np.indices((batch, channels, out_h, out_w))
+        grad_windows[n_idx, c_idx, argmax, h_idx, w_idx] = out.grad
+        grad_cols = grad_windows.reshape(batch, channels, kernel, kernel, out_h, out_w)
+        inputs._accumulate(col2im(grad_cols, inputs.shape, kernel, stride, 0))
+
+    return Tensor._make(output, (inputs,), backward, name="max_pool2d")
+
+
+def avg_pool2d(inputs: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over non-overlapping (or strided) windows."""
+
+    stride = stride if stride is not None else kernel
+    batch, channels, height, width = inputs.shape
+    cols, out_h, out_w = im2col(inputs.data, kernel, stride, 0)
+    windows = cols.reshape(batch, channels, kernel * kernel, out_h, out_w)
+    output = windows.mean(axis=2)
+
+    def backward(out: Tensor) -> None:
+        if not inputs.requires_grad:
+            return
+        grad_windows = np.broadcast_to(
+            out.grad[:, :, None, :, :] / (kernel * kernel), windows.shape
+        ).copy()
+        grad_cols = grad_windows.reshape(batch, channels, kernel, kernel, out_h, out_w)
+        inputs._accumulate(col2im(grad_cols, inputs.shape, kernel, stride, 0))
+
+    return Tensor._make(output, (inputs,), backward, name="avg_pool2d")

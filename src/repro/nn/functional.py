@@ -1,0 +1,129 @@
+"""Functional neural-network operations built on the autodiff tensor.
+
+This module collects stateless differentiable functions used across the
+library: softmax / log-softmax, losses, total-variation of feature maps and
+other regularizer building blocks used by the BlurNet defenses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "one_hot",
+    "total_variation_2d",
+    "total_variation_image",
+    "linf_norm",
+    "frobenius_norm",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(N, num_classes)`` one-hot matrix for integer ``labels``."""
+
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+
+    shifted_max = logits.data.max(axis=axis, keepdims=True)
+    shifted = logits - Tensor(shifted_max)
+    exponentials = shifted.exp()
+    return exponentials / exponentials.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+
+    shifted_max = logits.data.max(axis=axis, keepdims=True)
+    shifted = logits - Tensor(shifted_max)
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def nll_loss(log_probabilities: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``labels`` under log-probabilities."""
+
+    num_classes = log_probabilities.shape[-1]
+    targets = Tensor(one_hot(labels, num_classes))
+    per_sample = -(log_probabilities * targets).sum(axis=-1)
+    return per_sample.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer ``labels``.
+
+    This is the classifier loss ``J(f_theta(x), y)`` used throughout the
+    paper, both for training and inside the RP2 attack objective.
+    """
+
+    return nll_loss(log_softmax(logits, axis=-1), labels)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+
+    difference = prediction - target
+    return (difference * difference).mean()
+
+
+def total_variation_2d(feature_maps: Tensor) -> Tensor:
+    """Anisotropic total variation of a batch of feature maps.
+
+    Implements Eq. (3) of the paper applied per feature map and averaged over
+    the batch and channel dimensions (the ``1/(N*K)`` factor in Eq. (4)):
+
+    ``TV(x) = sum_ij |x[i+1, j] - x[i, j]| + |x[i, j+1] - x[i, j]|``
+
+    Parameters
+    ----------
+    feature_maps:
+        Tensor of shape ``(N, C, H, W)``.
+    """
+
+    if feature_maps.ndim != 4:
+        raise ValueError("total_variation_2d expects an (N, C, H, W) tensor")
+    batch, channels, _, _ = feature_maps.shape
+    vertical = (
+        feature_maps[:, :, 1:, :] - feature_maps[:, :, :-1, :]
+    ).abs().sum()
+    horizontal = (
+        feature_maps[:, :, :, 1:] - feature_maps[:, :, :, :-1]
+    ).abs().sum()
+    return (vertical + horizontal) * (1.0 / (batch * channels))
+
+
+def total_variation_image(image: np.ndarray) -> float:
+    """Plain NumPy total variation of a single ``(C, H, W)`` or ``(H, W)`` image."""
+
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        image = image[None, :, :]
+    vertical = np.abs(np.diff(image, axis=1)).sum()
+    horizontal = np.abs(np.diff(image, axis=2)).sum()
+    return float(vertical + horizontal)
+
+
+def linf_norm(weight: Tensor) -> Tensor:
+    """L-infinity norm of a tensor (maximum absolute entry)."""
+
+    return weight.abs().max()
+
+
+def frobenius_norm(matrix: Tensor) -> Tensor:
+    """Frobenius norm ``sqrt(sum(x^2))`` of a tensor."""
+
+    return (matrix * matrix).sum().sqrt()

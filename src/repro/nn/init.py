@@ -1,0 +1,43 @@
+"""Weight initialization schemes for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "uniform_blur"]
+
+
+def glorot_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Samples uniformly from ``[-limit, limit]`` with
+    ``limit = sqrt(6 / (fan_in + fan_out))``.
+    """
+
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization for ReLU networks."""
+
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform_blur(channels: int, kernel: int) -> np.ndarray:
+    """Depthwise box-blur weights: every tap equals ``1 / kernel**2``.
+
+    Used to initialize (or freeze) the BlurNet depthwise filter layer so it
+    starts as an exact moving-average low-pass filter.
+    """
+
+    return np.full((channels, kernel, kernel), 1.0 / (kernel * kernel), dtype=np.float64)

@@ -1,0 +1,396 @@
+"""Layer abstractions for the NumPy neural-network substrate.
+
+Layers own their parameters (autodiff :class:`~repro.nn.tensor.Tensor`
+objects with ``requires_grad=True``), expose a ``__call__`` forward pass and
+can be composed with :class:`Sequential`.  The :class:`Sequential` container
+additionally supports returning the intermediate activations of every layer,
+which the BlurNet defenses and the FFT analysis rely on (the regularizers
+penalize the *first-layer feature maps*, and the analysis inspects layer-1
+and layer-2 spectra).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init
+from .conv import avg_pool2d, conv2d, depthwise_conv2d, max_pool2d
+from .tensor import Tensor
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and register parameters in
+    ``self._parameters`` (a name -> Tensor mapping).
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or self.__class__.__name__
+        self.training = True
+        self._parameters: Dict[str, Tensor] = {}
+
+    # -- parameter management ------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        """Return the list of trainable parameter tensors."""
+
+        return [p for p in self._parameters.values() if p.requires_grad]
+
+    def named_parameters(self) -> Dict[str, Tensor]:
+        """Return a ``{name: tensor}`` mapping of all parameters."""
+
+        return dict(self._parameters)
+
+    def add_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        """Register ``tensor`` as a parameter called ``name``."""
+
+        self._parameters[name] = tensor
+        return tensor
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+
+        for parameter in self._parameters.values():
+            parameter.zero_grad()
+
+    # -- train / eval switching ----------------------------------------------
+    def train(self) -> "Layer":
+        """Put the layer in training mode (enables dropout etc.)."""
+
+        self.training = True
+        return self
+
+    def eval(self) -> "Layer":
+        """Put the layer in evaluation mode."""
+
+        self.training = False
+        return self
+
+    # -- forward -------------------------------------------------------------
+    def forward(self, inputs: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, inputs: Tensor) -> Tensor:
+        return self.forward(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    rng:
+        Random generator for Glorot initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        weight = init.glorot_uniform(
+            (in_features, out_features), in_features, out_features, rng
+        )
+        self.weight = self.add_parameter("weight", Tensor(weight, requires_grad=True))
+        self.bias = self.add_parameter(
+            "bias", Tensor(init.zeros((out_features,)), requires_grad=True)
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.matmul(self.weight) + self.bias
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution layer with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel_size:
+        Convolution geometry (``NCHW`` layout).
+    stride, padding:
+        Standard hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        weight = init.he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+        )
+        self.weight = self.add_parameter("weight", Tensor(weight, requires_grad=True))
+        self.bias = self.add_parameter(
+            "bias", Tensor(init.zeros((out_channels,)), requires_grad=True)
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return conv2d(
+            inputs, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise convolution layer -- the BlurNet filtering layer.
+
+    One ``kernel_size x kernel_size`` filter is applied independently to each
+    channel.  The layer can be used in two modes:
+
+    * ``trainable=True`` -- the filter taps are learned, typically under an
+      L-infinity regularizer (Section IV.A of the paper);
+    * ``trainable=False`` -- the taps are frozen to a standard blur kernel
+      (Section III, the motivating black-box experiment).
+
+    Parameters
+    ----------
+    channels:
+        Number of channels the layer filters.
+    kernel_size:
+        Square filter width (3, 5 or 7 in the paper).
+    padding:
+        Defaults to "same" padding (``kernel_size // 2``) so the feature map
+        geometry is preserved.
+    initial_weight:
+        Optional ``(channels, kernel_size, kernel_size)`` array of initial
+        taps; defaults to a uniform box blur.
+    trainable:
+        Whether the taps are trainable parameters.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        padding: Optional[int] = None,
+        initial_weight: Optional[np.ndarray] = None,
+        trainable: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.padding = padding if padding is not None else kernel_size // 2
+        if initial_weight is None:
+            initial_weight = init.uniform_blur(channels, kernel_size)
+        initial_weight = np.asarray(initial_weight, dtype=np.float64)
+        if initial_weight.shape != (channels, kernel_size, kernel_size):
+            raise ValueError(
+                "initial_weight must have shape (channels, kernel_size, kernel_size)"
+            )
+        self.trainable = trainable
+        self.weight = self.add_parameter(
+            "weight", Tensor(initial_weight, requires_grad=trainable)
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return depthwise_conv2d(
+            inputs, self.weight, bias=None, stride=1, padding=self.padding
+        )
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class MaxPool2D(Layer):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return max_pool2d(inputs, self.kernel_size, self.stride)
+
+
+class AvgPool2D(Layer):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return avg_pool2d(inputs, self.kernel_size, self.stride)
+
+
+class Flatten(Layer):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        batch = inputs.shape[0]
+        features = int(np.prod(inputs.shape[1:]))
+        return inputs.reshape(batch, features)
+
+
+class Dropout(Layer):
+    """Inverted dropout.
+
+    Active only in training mode; at evaluation time it is the identity.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return inputs
+        keep_probability = 1.0 - self.rate
+        mask = (self._rng.random(inputs.shape) < keep_probability) / keep_probability
+        return inputs * Tensor(mask)
+
+
+class Sequential(Layer):
+    """Ordered container of layers.
+
+    In addition to the plain forward pass, :meth:`forward_with_activations`
+    returns the activation produced by every layer, keyed by the layer name.
+    This is how callers access "the feature maps after the first layer" that
+    the BlurNet regularizers and the spectral analysis operate on.
+    """
+
+    def __init__(self, layers: Sequence[Layer], name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.layers: List[Layer] = list(layers)
+        self._ensure_unique_names()
+
+    def _ensure_unique_names(self) -> None:
+        taken: Dict[str, int] = {}
+        for layer in self.layers:
+            base_name = layer.name
+            if base_name not in taken:
+                taken[base_name] = 1
+                continue
+            # Find the next free suffix for this base name.
+            suffix = taken[base_name]
+            candidate = f"{base_name}_{suffix}"
+            while candidate in taken:
+                suffix += 1
+                candidate = f"{base_name}_{suffix}"
+            taken[base_name] = suffix + 1
+            layer.name = candidate
+            taken[candidate] = 1
+
+    # -- container protocol ----------------------------------------------------
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def append(self, layer: Layer) -> None:
+        """Add a layer to the end of the container."""
+
+        self.layers.append(layer)
+        self._ensure_unique_names()
+
+    def insert(self, index: int, layer: Layer) -> None:
+        """Insert a layer at ``index`` (used to splice in blur filter layers)."""
+
+        self.layers.insert(index, layer)
+        self._ensure_unique_names()
+
+    # -- parameters ------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        parameters: List[Tensor] = []
+        for layer in self.layers:
+            parameters.extend(layer.parameters())
+        return parameters
+
+    def named_parameters(self) -> Dict[str, Tensor]:
+        named: Dict[str, Tensor] = {}
+        for layer in self.layers:
+            for key, value in layer.named_parameters().items():
+                named[f"{layer.name}.{key}"] = value
+        return named
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def train(self) -> "Sequential":
+        self.training = True
+        for layer in self.layers:
+            layer.train()
+        return self
+
+    def eval(self) -> "Sequential":
+        self.training = False
+        for layer in self.layers:
+            layer.eval()
+        return self
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, inputs: Tensor) -> Tensor:
+        activation = inputs
+        for layer in self.layers:
+            activation = layer(activation)
+        return activation
+
+    def forward_with_activations(self, inputs: Tensor) -> Tuple[Tensor, Dict[str, Tensor]]:
+        """Forward pass that also returns every intermediate activation.
+
+        Returns
+        -------
+        logits, activations:
+            ``activations`` maps each layer name to its output tensor, in
+            execution order.
+        """
+
+        activations: Dict[str, Tensor] = {}
+        activation = inputs
+        for layer in self.layers:
+            activation = layer(activation)
+            activations[layer.name] = activation
+        return activation, activations

@@ -1,0 +1,46 @@
+"""Classification metrics for the NumPy substrate."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["accuracy", "top_k_accuracy", "confusion_matrix"]
+
+
+def _logits_to_array(logits: Union[Tensor, np.ndarray]) -> np.ndarray:
+    return logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], labels: np.ndarray) -> float:
+    """Fraction of samples whose arg-max prediction matches ``labels``."""
+
+    predictions = _logits_to_array(logits).argmax(axis=-1)
+    labels = np.asarray(labels).reshape(-1)
+    return float((predictions == labels).mean())
+
+
+def top_k_accuracy(logits: Union[Tensor, np.ndarray], labels: np.ndarray, k: int = 3) -> float:
+    """Fraction of samples whose label is within the top-``k`` predictions."""
+
+    scores = _logits_to_array(logits)
+    labels = np.asarray(labels).reshape(-1)
+    top_k = np.argsort(-scores, axis=-1)[:, :k]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(
+    logits: Union[Tensor, np.ndarray], labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Row-indexed-by-truth confusion matrix of counts."""
+
+    predictions = _logits_to_array(logits).argmax(axis=-1)
+    labels = np.asarray(labels).reshape(-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for truth, prediction in zip(labels, predictions):
+        matrix[int(truth), int(prediction)] += 1
+    return matrix

@@ -1,0 +1,118 @@
+"""Gradient-based optimizers for the NumPy neural-network substrate.
+
+The paper trains every classifier with ADAM (beta1=0.9, beta2=0.999,
+eps=1e-8); SGD with momentum is provided for completeness and for ablation
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class for optimizers operating on a list of parameter tensors."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of all managed parameters."""
+
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the parameters."""
+
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(parameter.data)
+                self._velocity[index] = (
+                    self.momentum * self._velocity[index] + gradient
+                )
+                gradient = self._velocity[index]
+            parameter.data = parameter.data - self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """ADAM optimizer (Kingma & Ba, 2015).
+
+    Default hyper-parameters match the paper's training setup:
+    ``beta1=0.9``, ``beta2=0.999``, ``eps=1e-8``.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            self._first_moment[index] = (
+                self.beta1 * self._first_moment[index] + (1.0 - self.beta1) * gradient
+            )
+            self._second_moment[index] = (
+                self.beta2 * self._second_moment[index]
+                + (1.0 - self.beta2) * gradient ** 2
+            )
+            corrected_first = self._first_moment[index] / bias_correction1
+            corrected_second = self._second_moment[index] / bias_correction2
+            parameter.data = parameter.data - self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.epsilon
+            )

@@ -1,0 +1,69 @@
+"""Saving and loading model weights for the NumPy substrate.
+
+Weights are stored as a flat ``.npz`` archive keyed by the parameter names
+produced by :meth:`repro.nn.layers.Sequential.named_parameters`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers import Sequential
+
+__all__ = ["save_weights", "load_weights", "state_dict", "load_state_dict"]
+
+
+def state_dict(model: Sequential) -> Dict[str, np.ndarray]:
+    """Return a copy of every parameter array keyed by its qualified name."""
+
+    return {name: tensor.data.copy() for name, tensor in model.named_parameters().items()}
+
+
+def load_state_dict(model: Sequential, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    """Load parameter arrays into ``model`` in place.
+
+    Parameters
+    ----------
+    model:
+        Target model whose parameters will be overwritten.
+    state:
+        Mapping produced by :func:`state_dict` (or an ``.npz`` archive).
+    strict:
+        When true, missing or unexpected keys raise ``KeyError``.
+    """
+
+    parameters = model.named_parameters()
+    missing = set(parameters) - set(state)
+    unexpected = set(state) - set(parameters)
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+        )
+    for name, tensor in parameters.items():
+        if name not in state:
+            continue
+        value = np.asarray(state[name], dtype=np.float64)
+        if value.shape != tensor.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: expected {tensor.data.shape}, got {value.shape}"
+            )
+        tensor.data = value.copy()
+
+
+def save_weights(model: Sequential, path: Union[str, Path]) -> Path:
+    """Serialize model weights to ``path`` (``.npz``).  Returns the path."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state_dict(model))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_weights(model: Sequential, path: Union[str, Path], strict: bool = True) -> None:
+    """Load weights saved by :func:`save_weights` into ``model``."""
+
+    archive = np.load(Path(path))
+    load_state_dict(model, {key: archive[key] for key in archive.files}, strict=strict)

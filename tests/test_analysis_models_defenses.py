@@ -1,0 +1,362 @@
+"""Unit tests for the analysis toolkit, model zoo, training loop and baseline defenses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AttackMetrics,
+    attack_success_rate,
+    compute_attack_metrics,
+    conv_layer_names,
+    extract_feature_maps,
+    feature_map_spectra,
+    feature_map_spectrum_report,
+    high_frequency_energy_fraction,
+    l2_dissimilarity,
+    log_magnitude_spectrum,
+    normalized_spectrum,
+    radial_profile,
+    spectrum_difference,
+    targeted_success_rate,
+)
+from repro.core import DefenseConfig, DefendedClassifier
+from repro.data import make_dataset
+from repro.defenses import (
+    AdversarialTrainingConfig,
+    SmoothedClassifier,
+    adversarial_train,
+    make_adversarial_batch_hook,
+)
+from repro.models import (
+    LisaCNNConfig,
+    TrainingConfig,
+    build_lisa_cnn,
+    build_table1_models,
+    evaluate_accuracy,
+    predict_classes,
+    predict_logits,
+    train_classifier,
+    train_variant,
+)
+from repro.nn import DepthwiseConv2D, Sequential, Tensor
+
+
+class TestFFTAnalysis:
+    def test_log_spectrum_shape_and_positivity(self):
+        image = np.random.default_rng(0).uniform(size=(16, 16))
+        spectrum = log_magnitude_spectrum(image)
+        assert spectrum.shape == (16, 16)
+        assert (spectrum >= 0).all()
+
+    def test_log_spectrum_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            log_magnitude_spectrum(np.zeros((3, 16, 16)))
+
+    def test_normalized_spectrum_range(self):
+        image = np.random.default_rng(1).uniform(size=(16, 16))
+        spectrum = normalized_spectrum(image)
+        assert spectrum.min() == pytest.approx(0.0)
+        assert spectrum.max() == pytest.approx(1.0)
+
+    def test_normalized_spectrum_of_constant_has_single_dc_peak(self):
+        spectrum = normalized_spectrum(np.ones((8, 8)))
+        # A constant image has all its energy in the DC bin (center after the
+        # shift); every other bin normalizes to zero.
+        assert spectrum.max() == pytest.approx(1.0)
+        assert np.count_nonzero(spectrum > 1e-9) == 1
+        assert np.allclose(normalized_spectrum(np.zeros((8, 8))), 0.0)
+
+    def test_high_frequency_fraction_bounds(self):
+        constant = np.ones((16, 16))
+        assert high_frequency_energy_fraction(constant) == 0.0
+        checkerboard = np.indices((16, 16)).sum(axis=0) % 2
+        assert high_frequency_energy_fraction(checkerboard.astype(float)) > 0.5
+
+    def test_smooth_gradient_has_low_hf_fraction(self):
+        ramp = np.linspace(0, 1, 256).reshape(16, 16)
+        assert high_frequency_energy_fraction(ramp) < 0.3
+
+    def test_radial_profile_shape_and_dc_dominance(self):
+        image = np.random.default_rng(2).uniform(size=(32, 32)) + 5.0
+        profile = radial_profile(image, num_bins=8)
+        assert profile.shape == (8,)
+        assert profile[0] == profile.max()
+
+    def test_spectrum_difference_zero_for_identical(self):
+        image = np.random.default_rng(3).uniform(size=(16, 16))
+        assert np.allclose(spectrum_difference(image, image), 0.0)
+
+
+class TestAttackMetrics:
+    def test_attack_success_rate(self):
+        clean = np.array([0, 0, 1, 2])
+        adversarial = np.array([0, 1, 1, 0])
+        assert attack_success_rate(clean, adversarial) == pytest.approx(0.5)
+
+    def test_attack_success_rate_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            attack_success_rate(np.zeros(3), np.zeros(4))
+
+    def test_targeted_success_rate(self):
+        assert targeted_success_rate(np.array([5, 5, 1, 5]), 5) == pytest.approx(0.75)
+
+    def test_l2_dissimilarity_zero_for_identical(self):
+        images = np.random.default_rng(0).uniform(size=(3, 3, 8, 8))
+        assert l2_dissimilarity(images, images) == 0.0
+
+    def test_l2_dissimilarity_scale(self):
+        images = np.ones((1, 1, 2, 2))
+        perturbed = images * 1.5
+        assert l2_dissimilarity(images, perturbed) == pytest.approx(0.5)
+
+    def test_l2_dissimilarity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            l2_dissimilarity(np.zeros((1, 3, 4, 4)), np.zeros((2, 3, 4, 4)))
+
+    def test_compute_attack_metrics_bundle(self):
+        clean_images = np.ones((4, 3, 4, 4))
+        adversarial_images = clean_images + 0.1
+        metrics = compute_attack_metrics(
+            clean_images,
+            adversarial_images,
+            clean_predictions=np.array([0, 1, 2, 3]),
+            adversarial_predictions=np.array([5, 1, 5, 3]),
+            true_labels=np.array([0, 1, 2, 0]),
+            target_class=5,
+        )
+        assert isinstance(metrics, AttackMetrics)
+        assert metrics.success_rate == pytest.approx(0.5)
+        assert metrics.targeted_rate == pytest.approx(0.5)
+        assert metrics.clean_accuracy == pytest.approx(0.75)
+        assert metrics.dissimilarity > 0
+
+
+class TestFeatureMapExtraction:
+    def test_conv_layer_names(self, tiny_baseline):
+        names = conv_layer_names(tiny_baseline.model)
+        assert names[0] == "conv1"
+        assert len(names) == 3
+
+    def test_extract_default_first_layer(self, tiny_baseline, tiny_eval_set):
+        maps = extract_feature_maps(tiny_baseline.model, tiny_eval_set.images[:2])
+        assert maps.shape[0] == 2
+        assert maps.shape[1] == 16  # FIRST_LAYER_CHANNELS
+
+    def test_extract_unknown_layer_raises(self, tiny_baseline, tiny_eval_set):
+        with pytest.raises(KeyError):
+            extract_feature_maps(tiny_baseline.model, tiny_eval_set.images[:1], "missing")
+
+    def test_extract_rejects_model_without_convs(self):
+        model = Sequential([DepthwiseConv2D(3, 3)])
+        with pytest.raises(ValueError):
+            extract_feature_maps(model, np.zeros((1, 3, 8, 8)))
+
+    def test_feature_map_spectra_shape(self):
+        maps = np.random.default_rng(0).uniform(size=(4, 8, 8))
+        assert feature_map_spectra(maps).shape == (4, 8, 8)
+        with pytest.raises(ValueError):
+            feature_map_spectra(np.zeros((8, 8)))
+
+    def test_spectrum_report_keys(self, tiny_baseline, tiny_eval_set):
+        clean = tiny_eval_set.images[0]
+        perturbed = np.clip(clean + 0.3 * (np.random.default_rng(0).uniform(size=clean.shape) > 0.9), 0, 1)
+        report = feature_map_spectrum_report(tiny_baseline.model, clean, perturbed)
+        assert set(report) == {
+            "clean_high_frequency_fraction",
+            "perturbed_high_frequency_fraction",
+            "difference_high_frequency_fraction",
+        }
+        assert all(0.0 <= value <= 1.0 for value in report.values())
+
+
+class TestLisaCNN:
+    def test_forward_shape(self):
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        logits = model(Tensor(np.zeros((2, 3, 16, 16))))
+        assert logits.shape == (2, 18)
+
+    def test_blur_and_depthwise_are_mutually_independent_options(self):
+        with pytest.raises(ValueError):
+            LisaCNNConfig(input_blur_kernel=3, feature_blur_kernel=3)
+
+    def test_depthwise_placed_after_relu(self):
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0, depthwise_kernel=3))
+        names = [layer.name for layer in model.layers]
+        assert names.index("depthwise_filter") == names.index("relu1") + 1
+
+    def test_feature_blur_placed_after_relu(self):
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0, feature_blur_kernel=5))
+        names = [layer.name for layer in model.layers]
+        assert names.index("feature_blur") == names.index("relu1") + 1
+
+    def test_same_seed_same_weights(self):
+        first = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=7))
+        second = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=7))
+        assert np.array_equal(
+            first.named_parameters()["conv1.weight"].data,
+            second.named_parameters()["conv1.weight"].data,
+        )
+
+
+class TestTraining:
+    def test_training_reduces_loss_and_records_history(self, tiny_split):
+        train_set, _ = tiny_split
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        history = train_classifier(
+            model, train_set, TrainingConfig(epochs=3, batch_size=16, seed=0)
+        )
+        assert len(history.losses) == 3
+        assert history.losses[-1] < history.losses[0]
+        assert 0.0 <= history.final_accuracy() <= 1.0
+
+    def test_predict_functions(self, tiny_baseline, tiny_split):
+        _, test_set = tiny_split
+        logits = predict_logits(tiny_baseline.model, test_set.images)
+        classes = predict_classes(tiny_baseline.model, test_set.images)
+        assert logits.shape == (len(test_set), 18)
+        assert np.array_equal(classes, logits.argmax(axis=-1))
+        accuracy = evaluate_accuracy(tiny_baseline.model, test_set)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_batch_hook_is_applied(self, tiny_split):
+        train_set, _ = tiny_split
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        calls = []
+
+        def hook(images, labels, rng):
+            calls.append(len(labels))
+            return images
+
+        train_classifier(
+            model, train_set, TrainingConfig(epochs=1, batch_size=16, seed=0), batch_hook=hook
+        )
+        assert sum(calls) == len(train_set)
+
+    def test_gaussian_augmentation_trains(self, tiny_split):
+        train_set, _ = tiny_split
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        history = train_classifier(
+            model,
+            train_set,
+            TrainingConfig(epochs=1, batch_size=16, gaussian_sigma=0.2, seed=0),
+        )
+        assert np.isfinite(history.losses).all()
+
+    def test_regularized_training_records_penalty(self, tiny_split):
+        from repro.core import TotalVariationRegularizer
+
+        train_set, _ = tiny_split
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        history = train_classifier(
+            model,
+            train_set,
+            TrainingConfig(epochs=1, batch_size=16, seed=0),
+            regularizer=TotalVariationRegularizer(alpha=1e-3),
+        )
+        assert history.penalties[0] > 0.0
+
+    def test_train_variant_builds_and_fits(self, tiny_split, tiny_training_config):
+        train_set, test_set = tiny_split
+        classifier = train_variant(
+            DefenseConfig.total_variation(1e-2), train_set, tiny_training_config
+        )
+        assert classifier.last_training is not None
+        assert 0.0 <= classifier.evaluate(test_set) <= 1.0
+
+    def test_build_table1_models_share_baseline_weights(self, tiny_split, tiny_training_config):
+        train_set, _ = tiny_split
+        models = build_table1_models(train_set, tiny_training_config)
+        assert set(models) == {
+            "baseline",
+            "input_filter_3x3",
+            "input_filter_5x5",
+            "feature_filter_3x3",
+            "feature_filter_5x5",
+        }
+        baseline_weight = models["baseline"].model.named_parameters()["conv1.weight"].data
+        filtered_weight = models["feature_filter_5x5"].model.named_parameters()["conv1.weight"].data
+        assert np.array_equal(baseline_weight, filtered_weight)
+
+
+class TestBaselineDefenses:
+    def test_smoothed_classifier_majority_vote(self, tiny_baseline, tiny_eval_set):
+        smoothed = SmoothedClassifier(tiny_baseline.model, sigma=0.05, num_samples=7, seed=0)
+        predictions = smoothed.predict(tiny_eval_set.images[:3])
+        assert predictions.shape == (3,)
+        counts = smoothed.class_counts(tiny_eval_set.images[:3])
+        assert counts.shape == (3, 18)
+        assert (counts.sum(axis=1) == 7).all()
+
+    def test_smoothed_classifier_confidence(self, tiny_baseline, tiny_eval_set):
+        smoothed = SmoothedClassifier(tiny_baseline.model, sigma=0.05, num_samples=5, seed=0)
+        predictions, confidence = smoothed.predict_with_confidence(tiny_eval_set.images[:2])
+        assert predictions.shape == (2,)
+        assert ((confidence > 0.0) & (confidence <= 1.0)).all()
+
+    def test_smoothed_classifier_zero_sigma_matches_base(self, tiny_baseline, tiny_eval_set):
+        smoothed = SmoothedClassifier(tiny_baseline.model, sigma=0.0, num_samples=3, seed=0)
+        base = predict_classes(tiny_baseline.model, tiny_eval_set.images)
+        assert np.array_equal(smoothed.predict(tiny_eval_set.images), base)
+
+    def test_smoothed_classifier_validation(self, tiny_baseline):
+        with pytest.raises(ValueError):
+            SmoothedClassifier(tiny_baseline.model, sigma=-0.1)
+        with pytest.raises(ValueError):
+            SmoothedClassifier(tiny_baseline.model, sigma=0.1, num_samples=0)
+
+    def test_adversarial_batch_hook_respects_epsilon(self, tiny_baseline, tiny_split):
+        train_set, _ = tiny_split
+        hook = make_adversarial_batch_hook(
+            tiny_baseline.model,
+            AdversarialTrainingConfig(epsilon=4.0 / 255.0, steps=2, adversarial_fraction=0.5),
+        )
+        images = train_set.images[:8]
+        labels = train_set.labels[:8]
+        mixed = hook(images, labels, np.random.default_rng(0))
+        assert mixed.shape == images.shape
+        assert np.abs(mixed - images).max() <= 4.0 / 255.0 + 1e-9
+        assert not np.array_equal(mixed, images)
+
+    def test_adversarial_hook_zero_fraction_is_identity(self, tiny_baseline, tiny_split):
+        train_set, _ = tiny_split
+        hook = make_adversarial_batch_hook(
+            tiny_baseline.model, AdversarialTrainingConfig(adversarial_fraction=0.0)
+        )
+        images = train_set.images[:4]
+        assert np.array_equal(hook(images, train_set.labels[:4], np.random.default_rng(0)), images)
+
+    def test_adversarial_train_runs(self, tiny_split):
+        train_set, _ = tiny_split
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        history = adversarial_train(
+            model,
+            train_set,
+            training_config=TrainingConfig(epochs=1, batch_size=16, seed=0),
+            adversarial_config=AdversarialTrainingConfig(steps=2),
+        )
+        assert len(history.losses) == 1
+        assert np.isfinite(history.losses).all()
+
+
+class TestDefendedClassifierTraining:
+    def test_randomized_smoothing_installs_smoother(self, tiny_split, tiny_training_config):
+        train_set, _ = tiny_split
+        classifier = DefendedClassifier.build(
+            DefenseConfig.randomized_smoothing(0.1, samples=3), seed=0, image_size=16
+        )
+        classifier.fit(train_set, tiny_training_config)
+        assert classifier.smoother is not None
+        predictions = classifier.predict(train_set.images[:2])
+        assert predictions.shape == (2,)
+
+    def test_gaussian_augmentation_sets_training_sigma(self, tiny_split):
+        train_set, _ = tiny_split
+        classifier = DefendedClassifier.build(
+            DefenseConfig.gaussian_augmentation(0.2), seed=0, image_size=16
+        )
+        training_config = TrainingConfig(epochs=1, batch_size=16, seed=0)
+        classifier.fit(train_set, training_config)
+        assert training_config.gaussian_sigma == pytest.approx(0.2)
+        assert classifier.smoother is None

@@ -1,0 +1,283 @@
+"""Unit tests for the attack suite: DCT, NPS, RP2, PGD, adaptive and transfer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import attack_success_rate, high_frequency_energy_fraction, l2_dissimilarity
+from repro.attacks import (
+    DEFAULT_DCT_DIMENSION,
+    PGDAttack,
+    PGDConfig,
+    PRINTABLE_PALETTE,
+    RP2Attack,
+    RP2Config,
+    dct2,
+    dct_matrix,
+    evaluate_transfer,
+    idct2,
+    low_frequency_mask,
+    low_frequency_rp2,
+    non_printability_score,
+    non_printability_score_array,
+    project_low_frequency,
+    project_low_frequency_array,
+    regularizer_aware_rp2,
+    run_transfer_attack,
+)
+from repro.core import DefenseConfig, DefendedClassifier, TotalVariationRegularizer
+from repro.nn import Tensor
+
+
+class TestDCT:
+    def test_dct_matrix_is_orthonormal(self):
+        matrix = dct_matrix(16)
+        assert np.allclose(matrix @ matrix.T, np.eye(16), atol=1e-10)
+
+    def test_dct_matrix_cached(self):
+        assert dct_matrix(8) is dct_matrix(8)
+
+    def test_roundtrip_identity(self):
+        rng = np.random.default_rng(0)
+        images = Tensor(rng.standard_normal((2, 3, 12, 12)))
+        reconstructed = idct2(dct2(images)).data
+        assert np.allclose(reconstructed, images.data, atol=1e-10)
+
+    def test_constant_image_has_only_dc_coefficient(self):
+        image = Tensor(np.ones((1, 1, 8, 8)))
+        coefficients = dct2(image).data[0, 0]
+        assert abs(coefficients[0, 0]) > 1.0
+        off_dc = coefficients.copy()
+        off_dc[0, 0] = 0.0
+        assert np.abs(off_dc).max() < 1e-10
+
+    def test_low_frequency_mask(self):
+        mask = low_frequency_mask(16, 4)
+        assert mask.sum() == 16
+        assert mask[0, 0] == 1.0 and mask[5, 5] == 0.0
+        with pytest.raises(ValueError):
+            low_frequency_mask(16, 0)
+
+    def test_projection_removes_high_frequencies(self):
+        rng = np.random.default_rng(1)
+        noise = rng.standard_normal((1, 1, 32, 32))
+        projected = project_low_frequency_array(noise, dim=4)
+        assert high_frequency_energy_fraction(projected[0, 0]) < high_frequency_energy_fraction(
+            noise[0, 0]
+        )
+
+    def test_projection_is_idempotent(self):
+        rng = np.random.default_rng(2)
+        noise = rng.standard_normal((1, 1, 16, 16))
+        once = project_low_frequency_array(noise, dim=6)
+        twice = project_low_frequency_array(once, dim=6)
+        assert np.allclose(once, twice, atol=1e-10)
+
+    def test_full_dimension_projection_is_identity(self):
+        rng = np.random.default_rng(3)
+        noise = rng.standard_normal((1, 1, 8, 8))
+        assert np.allclose(project_low_frequency_array(noise, dim=8), noise, atol=1e-10)
+
+    def test_projection_gradient_flows(self):
+        perturbation = Tensor(np.random.default_rng(4).standard_normal((1, 1, 8, 8)), requires_grad=True)
+        (project_low_frequency(perturbation, 4) ** 2).sum().backward()
+        assert perturbation.grad is not None
+
+
+class TestNPS:
+    def test_printable_colors_have_zero_score(self):
+        # An image made entirely of palette colors is perfectly printable.
+        image = np.zeros((1, 3, 4, 4))
+        image[0, :, :, :2] = 1.0  # white block
+        mask = np.ones((4, 4), dtype=bool)
+        assert non_printability_score_array(image, mask) == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_printable_color_has_positive_score(self):
+        image = np.full((1, 3, 4, 4), 0.5)  # mid gray is far from every palette color
+        mask = np.ones((4, 4), dtype=bool)
+        assert non_printability_score_array(image, mask) > 0.0
+
+    def test_mask_restricts_contribution(self):
+        image = np.full((1, 3, 4, 4), 0.5)
+        empty_mask = np.zeros((4, 4), dtype=bool)
+        full_mask = np.ones((4, 4), dtype=bool)
+        assert non_printability_score_array(image, empty_mask) == pytest.approx(0.0)
+        assert non_printability_score_array(image, full_mask) > 0.0
+
+    def test_palette_shape(self):
+        assert PRINTABLE_PALETTE.shape[1] == 3
+
+    def test_gradient_flows_to_pixels(self):
+        # 0.4 is off the symmetric center of the palette, so the gradient of
+        # the product-of-distances term is non-zero.
+        image = Tensor(np.full((1, 3, 4, 4), 0.4), requires_grad=True)
+        non_printability_score(image, np.ones((4, 4))).backward()
+        assert image.grad is not None
+        assert np.abs(image.grad).sum() > 0
+
+
+class TestRP2Config:
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            RP2Config(norm="l7")
+
+    def test_rejects_non_positive_steps(self):
+        with pytest.raises(ValueError):
+            RP2Config(steps=0)
+
+
+class TestRP2Attack:
+    def test_output_shapes_and_clipping(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=4, learning_rate=0.1, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_sticker_masks, target_class=3)
+        assert result.adversarial_images.shape == tiny_eval_set.images.shape
+        assert result.perturbation.shape == (3, 16, 16)
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+        assert result.target_class == 3
+        assert len(result.loss_history) == 4
+
+    def test_perturbation_confined_to_sticker_mask(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=4, learning_rate=0.1, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_sticker_masks, target_class=3)
+        difference = np.abs(result.adversarial_images - tiny_eval_set.images)
+        outside = difference * (1.0 - tiny_sticker_masks[:, None, :, :])
+        assert outside.max() < 1e-12
+
+    def test_loss_decreases_over_optimization(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=25, learning_rate=0.1, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_sticker_masks, target_class=3)
+        first = np.mean(result.loss_history[:5])
+        last = np.mean(result.loss_history[-5:])
+        assert last < first
+
+    def test_model_parameters_unchanged_by_attack(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        before = {
+            name: parameter.data.copy()
+            for name, parameter in tiny_baseline.model.named_parameters().items()
+        }
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=3, seed=0))
+        attack.generate(tiny_eval_set.images, tiny_sticker_masks, target_class=3)
+        for name, parameter in tiny_baseline.model.named_parameters().items():
+            assert np.array_equal(parameter.data, before[name])
+            assert parameter.requires_grad or name.endswith("feature_blur.weight")
+
+    def test_l1_norm_variant_runs(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=3, norm="l1", seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_sticker_masks, target_class=2)
+        assert np.isfinite(result.loss_history).all()
+
+    def test_input_validation(self, tiny_baseline):
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=1))
+        with pytest.raises(ValueError):
+            attack.generate(np.zeros((2, 3, 16, 16)), np.zeros((3, 16, 16)), 1)
+        with pytest.raises(ValueError):
+            attack.generate(np.zeros((3, 16, 16)), np.zeros((1, 16, 16)), 1)
+
+
+class TestPGDAttack:
+    def test_respects_epsilon_ball(self, tiny_baseline, tiny_eval_set):
+        config = PGDConfig(epsilon=8.0 / 255.0, step_size=0.01, steps=5, seed=0)
+        attack = PGDAttack(tiny_baseline.model, config)
+        result = attack.generate(tiny_eval_set.images, tiny_eval_set.labels)
+        difference = np.abs(result.adversarial_images - tiny_eval_set.images)
+        assert difference.max() <= config.epsilon + 1e-9
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_untargeted_increases_loss(self, tiny_baseline, tiny_eval_set):
+        attack = PGDAttack(tiny_baseline.model, PGDConfig(steps=8, step_size=0.01, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_eval_set.labels)
+        assert result.loss_history[-1] >= result.loss_history[0] - 1e-6
+
+    def test_targeted_requires_target(self, tiny_baseline, tiny_eval_set):
+        attack = PGDAttack(tiny_baseline.model, PGDConfig(targeted=True, steps=2))
+        with pytest.raises(ValueError):
+            attack.generate(tiny_eval_set.images, tiny_eval_set.labels)
+
+    def test_targeted_mode_runs(self, tiny_baseline, tiny_eval_set):
+        attack = PGDAttack(tiny_baseline.model, PGDConfig(targeted=True, steps=3, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_eval_set.labels, target_class=4)
+        assert result.target_class == 4
+
+    def test_no_random_start(self, tiny_baseline, tiny_eval_set):
+        attack = PGDAttack(tiny_baseline.model, PGDConfig(steps=1, random_start=False, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_eval_set.labels)
+        assert result.adversarial_images.shape == tiny_eval_set.images.shape
+
+
+class TestAdaptiveAttacks:
+    def test_low_frequency_attack_produces_smoother_perturbation(
+        self, tiny_baseline, tiny_eval_set, tiny_sticker_masks
+    ):
+        plain = RP2Attack(tiny_baseline.model, RP2Config(steps=10, learning_rate=0.1, seed=0))
+        plain_result = plain.generate(tiny_eval_set.images, tiny_sticker_masks, 3)
+        lowfreq = low_frequency_rp2(
+            tiny_baseline.model, RP2Config(steps=10, learning_rate=0.1, seed=0), dct_dimension=4
+        )
+        lowfreq_result = lowfreq.generate(tiny_eval_set.images, tiny_sticker_masks, 3)
+
+        plain_hf = np.mean(
+            [
+                high_frequency_energy_fraction(delta)
+                for delta in (plain_result.adversarial_images - plain_result.clean_images)[0]
+            ]
+        )
+        lowfreq_hf = np.mean(
+            [
+                high_frequency_energy_fraction(delta)
+                for delta in (lowfreq_result.adversarial_images - lowfreq_result.clean_images)[0]
+            ]
+        )
+        assert lowfreq_hf <= plain_hf + 1e-9
+
+    def test_low_frequency_attack_name_includes_dimension(self, tiny_baseline):
+        attack = low_frequency_rp2(tiny_baseline.model, RP2Config(steps=1), dct_dimension=8)
+        assert "8" in attack.name
+        assert DEFAULT_DCT_DIMENSION == 16
+
+    def test_regularizer_aware_attack_runs_and_is_masked(
+        self, tiny_baseline, tiny_eval_set, tiny_sticker_masks
+    ):
+        regularizer = TotalVariationRegularizer(alpha=0.01)
+        attack = regularizer_aware_rp2(
+            tiny_baseline.model, regularizer, RP2Config(steps=5, learning_rate=0.1, seed=0)
+        )
+        assert attack.name == "rp2_adaptive_tv"
+        result = attack.generate(tiny_eval_set.images, tiny_sticker_masks, 3)
+        difference = np.abs(result.adversarial_images - tiny_eval_set.images)
+        outside = difference * (1.0 - tiny_sticker_masks[:, None, :, :])
+        assert outside.max() < 1e-12
+        assert np.isfinite(result.loss_history).all()
+
+
+class TestTransferHarness:
+    def test_transfer_outcomes_structure(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        feature_blurred = DefendedClassifier.build(DefenseConfig.feature_blur(3), seed=0, image_size=16)
+        # Reuse the trained baseline weights for the frozen-blur variant.
+        from repro.nn import load_state_dict, state_dict
+
+        load_state_dict(feature_blurred.model, state_dict(tiny_baseline.model), strict=False)
+
+        outcomes = run_transfer_attack(
+            source_model=tiny_baseline.model,
+            target_models={"feature_filter_3x3": feature_blurred.model},
+            evaluation_set=tiny_eval_set,
+            target_class=3,
+            sticker_masks=tiny_sticker_masks,
+            config=RP2Config(steps=5, learning_rate=0.1, seed=0),
+        )
+        assert [outcome.model_name for outcome in outcomes] == ["source", "feature_filter_3x3"]
+        for outcome in outcomes:
+            assert 0.0 <= outcome.clean_accuracy <= 1.0
+            assert 0.0 <= outcome.success_rate <= 1.0
+            assert outcome.dissimilarity >= 0.0
+        # The adversarial examples are shared, so the dissimilarity is identical.
+        assert outcomes[0].dissimilarity == pytest.approx(outcomes[1].dissimilarity)
+
+    def test_evaluate_transfer_uses_given_name(self, tiny_baseline, tiny_eval_set, tiny_sticker_masks):
+        attack = RP2Attack(tiny_baseline.model, RP2Config(steps=2, seed=0))
+        result = attack.generate(tiny_eval_set.images, tiny_sticker_masks, 3)
+        outcome = evaluate_transfer(tiny_baseline.model, "victim", tiny_eval_set, result)
+        assert outcome.model_name == "victim"

@@ -1,0 +1,363 @@
+"""Unit tests for the BlurNet core: kernels, filter layers, operators, regularizers, configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import high_frequency_energy_fraction
+from repro.core import (
+    DefendedClassifier,
+    DefenseConfig,
+    DefenseKind,
+    FeatureMapBlur,
+    InputBlur,
+    LinfDepthwiseRegularizer,
+    NullRegularizer,
+    TikhonovRegularizer,
+    TotalVariationRegularizer,
+    apply_kernel_to_images,
+    apply_operator,
+    blur_images,
+    box_kernel,
+    depthwise_kernel_stack,
+    difference_matrix,
+    first_feature_map,
+    gaussian_kernel,
+    high_frequency_operator,
+    insert_feature_blur,
+    moving_average_matrix,
+    operator_frequency_response,
+    prepend_input_blur,
+    pseudoinverse_smoothing_operator,
+    table1_variants,
+    table2_variants,
+)
+from repro.models.lisa_cnn import FIRST_LAYER_CHANNELS, LisaCNNConfig, build_lisa_cnn
+from repro.nn import Conv2D, DepthwiseConv2D, Sequential, Tensor
+
+
+class TestBlurKernels:
+    def test_box_kernel_sums_to_one(self):
+        for size in (3, 5, 7):
+            assert box_kernel(size).sum() == pytest.approx(1.0)
+
+    def test_box_kernel_rejects_even_sizes(self):
+        with pytest.raises(ValueError):
+            box_kernel(4)
+
+    def test_gaussian_kernel_sums_to_one_and_peaks_at_center(self):
+        kernel = gaussian_kernel(5)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert kernel[2, 2] == kernel.max()
+
+    def test_gaussian_kernel_rejects_even_sizes(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(6)
+
+    def test_depthwise_kernel_stack(self):
+        stack = depthwise_kernel_stack(box_kernel(3), 5)
+        assert stack.shape == (5, 3, 3)
+        assert np.allclose(stack[0], stack[4])
+
+    def test_depthwise_stack_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            depthwise_kernel_stack(np.zeros((3, 2)), 4)
+
+    def test_apply_kernel_preserves_shape(self):
+        images = np.random.default_rng(0).uniform(size=(2, 3, 16, 16))
+        filtered = apply_kernel_to_images(images, box_kernel(3))
+        assert filtered.shape == images.shape
+
+    def test_apply_kernel_accepts_single_image(self):
+        image = np.random.default_rng(0).uniform(size=(3, 16, 16))
+        assert apply_kernel_to_images(image, box_kernel(3)).shape == image.shape
+
+    def test_blur_reduces_high_frequency_energy(self):
+        rng = np.random.default_rng(1)
+        noisy = rng.uniform(size=(1, 1, 32, 32))
+        blurred = blur_images(noisy, 5)
+        assert high_frequency_energy_fraction(blurred[0, 0]) < high_frequency_energy_fraction(
+            noisy[0, 0]
+        )
+
+    def test_blur_images_gaussian_kind(self):
+        image = np.random.default_rng(2).uniform(size=(1, 3, 8, 8))
+        assert blur_images(image, 3, kind="gaussian").shape == image.shape
+
+    def test_blur_images_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            blur_images(np.zeros((1, 3, 8, 8)), 3, kind="median")
+
+
+class TestFilterLayers:
+    def test_input_blur_shape_and_frozen(self):
+        layer = InputBlur(3)
+        assert layer(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 3, 16, 16)
+        assert layer.parameters() == []
+
+    def test_feature_blur_smooths_spike(self):
+        layer = FeatureMapBlur(channels=2, kernel_size=5)
+        maps = np.zeros((1, 2, 16, 16))
+        maps[0, 0, 8, 8] = 10.0
+        filtered = layer(Tensor(maps)).data
+        assert filtered[0, 0].max() < 1.0  # the spike is spread over 25 taps
+
+    def test_feature_blur_gradient_flows_to_input(self):
+        layer = FeatureMapBlur(channels=2, kernel_size=3)
+        maps = Tensor(np.random.default_rng(0).standard_normal((1, 2, 8, 8)), requires_grad=True)
+        layer(maps).sum().backward()
+        assert maps.grad is not None
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            InputBlur(3, kind="median")
+
+    def test_prepend_input_blur_shares_layers(self):
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        defended = prepend_input_blur(model, 3)
+        assert isinstance(defended.layers[0], InputBlur)
+        assert defended.layers[1] is model.layers[0]
+
+    def test_insert_feature_blur_infers_channels(self):
+        model = build_lisa_cnn(LisaCNNConfig(image_size=16, seed=0))
+        defended = insert_feature_blur(model, 5, after_layer_index=0)
+        blur = defended.layers[1]
+        assert isinstance(blur, FeatureMapBlur)
+        assert blur.channels == FIRST_LAYER_CHANNELS
+
+    def test_insert_feature_blur_requires_channels_for_unknown_layer(self):
+        model = Sequential([DepthwiseConv2D(3, 3)])
+        with pytest.raises(ValueError):
+            insert_feature_blur(model, 3, after_layer_index=0)
+
+
+class TestTikhonovOperators:
+    def test_moving_average_rows_sum_to_one(self):
+        matrix = moving_average_matrix(10, 3)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_moving_average_rejects_even_window(self):
+        with pytest.raises(ValueError):
+            moving_average_matrix(10, 4)
+
+    def test_high_frequency_operator_annihilates_constants(self):
+        operator = high_frequency_operator(12, 3)
+        constant = np.ones(12)
+        assert np.abs(operator @ constant).max() < 1e-10
+
+    def test_high_frequency_operator_is_high_pass(self):
+        response = operator_frequency_response(high_frequency_operator(32, 3))
+        # Gain at the highest frequencies exceeds gain at the lowest.
+        assert response[-1] > response[0]
+
+    def test_difference_matrix_behaviour(self):
+        matrix = difference_matrix(5)
+        signal = np.array([1.0, 3.0, 6.0, 10.0, 15.0])
+        assert np.allclose(matrix @ signal, [2.0, 3.0, 4.0, 5.0, 0.0])
+
+    def test_pseudoinverse_is_low_pass(self):
+        response = operator_frequency_response(pseudoinverse_smoothing_operator(32))
+        # Integration amplifies low frequencies far more than high ones.
+        assert response[0] > response[-1]
+
+    def test_pseudoinverse_inverts_difference_on_mean_zero_signals(self):
+        size = 8
+        difference = difference_matrix(size)
+        pseudo = pseudoinverse_smoothing_operator(size)
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(size)
+        reconstructed = pseudo @ (difference @ signal)
+        # Reconstruction is exact up to an additive constant (the null space).
+        residual = (signal - reconstructed) - (signal - reconstructed).mean()
+        assert np.abs(residual[:-1]).max() < 1e-8
+
+    def test_apply_operator_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        maps = rng.standard_normal((2, 3, 6, 5))
+        operator = high_frequency_operator(6, 3)
+        output = apply_operator(Tensor(maps), operator).data
+        expected = np.einsum("ij,ncjw->nciw", operator, maps)
+        assert np.allclose(output, expected)
+
+    def test_apply_operator_gradient(self):
+        rng = np.random.default_rng(2)
+        maps = Tensor(rng.standard_normal((1, 2, 5, 5)), requires_grad=True)
+        operator = high_frequency_operator(5, 3)
+        (apply_operator(maps, operator) ** 2).sum().backward()
+        assert maps.grad is not None
+        assert np.abs(maps.grad).sum() > 0
+
+    def test_apply_operator_shape_checks(self):
+        with pytest.raises(ValueError):
+            apply_operator(Tensor(np.zeros((2, 5, 5))), np.eye(5))
+        with pytest.raises(ValueError):
+            apply_operator(Tensor(np.zeros((1, 2, 5, 5))), np.eye(4))
+
+
+def _model_with_activations(depthwise=None, seed=0, image_size=16):
+    config = LisaCNNConfig(image_size=image_size, seed=seed, depthwise_kernel=depthwise)
+    model = build_lisa_cnn(config)
+    inputs = Tensor(np.random.default_rng(seed).uniform(size=(2, 3, image_size, image_size)))
+    _logits, activations = model.forward_with_activations(inputs)
+    return model, inputs, activations
+
+
+class TestRegularizers:
+    def test_null_regularizer_is_zero(self):
+        model, inputs, activations = _model_with_activations()
+        assert NullRegularizer().scaled_penalty(model, inputs, activations).item() == 0.0
+
+    def test_first_feature_map_is_conv1_output(self):
+        model, inputs, activations = _model_with_activations()
+        feature = first_feature_map(model, activations)
+        assert np.allclose(feature.data, activations["conv1"].data)
+
+    def test_first_feature_map_skips_input_blur(self):
+        config = LisaCNNConfig(image_size=16, seed=0, input_blur_kernel=3)
+        model = build_lisa_cnn(config)
+        inputs = Tensor(np.zeros((1, 3, 16, 16)))
+        _logits, activations = model.forward_with_activations(inputs)
+        feature = first_feature_map(model, activations)
+        assert np.allclose(feature.data, activations["conv1"].data)
+
+    def test_tv_regularizer_positive_and_scaled(self):
+        model, inputs, activations = _model_with_activations()
+        regularizer = TotalVariationRegularizer(alpha=0.5)
+        penalty = regularizer.penalty(model, inputs, activations).item()
+        scaled = regularizer.scaled_penalty(model, inputs, activations).item()
+        assert penalty > 0
+        assert scaled == pytest.approx(0.5 * penalty)
+
+    def test_tikhonov_hf_regularizer_positive(self):
+        model, inputs, activations = _model_with_activations()
+        regularizer = TikhonovRegularizer(alpha=1.0, operator="hf")
+        assert regularizer.penalty(model, inputs, activations).item() > 0
+
+    def test_tikhonov_pseudo_regularizer_positive(self):
+        model, inputs, activations = _model_with_activations()
+        regularizer = TikhonovRegularizer(alpha=1.0, operator="pseudo")
+        assert regularizer.penalty(model, inputs, activations).item() > 0
+
+    def test_tikhonov_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            TikhonovRegularizer(1.0, operator="wavelet")
+
+    def test_tikhonov_operator_cached_per_height(self):
+        model, inputs, activations = _model_with_activations()
+        regularizer = TikhonovRegularizer(alpha=1.0, operator="hf")
+        regularizer.penalty(model, inputs, activations)
+        regularizer.penalty(model, inputs, activations)
+        assert len(regularizer._operator_cache) == 1
+
+    def test_linf_regularizer_requires_depthwise_layer(self):
+        model, inputs, activations = _model_with_activations(depthwise=None)
+        with pytest.raises(ValueError):
+            LinfDepthwiseRegularizer(0.1).penalty(model, inputs, activations)
+
+    def test_linf_regularizer_sums_channel_norms(self):
+        model, inputs, activations = _model_with_activations(depthwise=3)
+        regularizer = LinfDepthwiseRegularizer(1.0)
+        layer = regularizer.find_depthwise_layer(model)
+        expected = sum(np.abs(layer.weight.data[c]).max() for c in range(layer.channels))
+        assert regularizer.penalty(model, inputs, activations).item() == pytest.approx(expected)
+
+    def test_regularizer_gradients_reach_conv1(self):
+        model, inputs, activations = _model_with_activations()
+        conv1 = model.layers[0]
+        penalty = TotalVariationRegularizer(1.0).penalty(model, inputs, activations)
+        model.zero_grad()
+        penalty.backward()
+        assert conv1.weight.grad is not None
+
+
+class TestDefenseConfig:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            DefenseConfig(kind="unknown")
+
+    def test_kernel_required_for_blur_kinds(self):
+        with pytest.raises(ValueError):
+            DefenseConfig(kind=DefenseKind.INPUT_BLUR)
+
+    def test_sigma_required_for_gaussian(self):
+        with pytest.raises(ValueError):
+            DefenseConfig(kind=DefenseKind.GAUSSIAN_AUGMENTATION)
+
+    def test_default_names(self):
+        assert DefenseConfig.baseline().name == "baseline"
+        assert DefenseConfig.input_blur(3).name == "input_filter_3x3"
+        assert DefenseConfig.feature_blur(5).name == "feature_filter_5x5"
+        assert DefenseConfig.depthwise_linf(7, 0.1).name == "conv7x7"
+        assert DefenseConfig.total_variation(1e-4).name == "tv_0.0001"
+        assert DefenseConfig.tikhonov_hf(1.0).name == "tik_hf_1"
+        assert DefenseConfig.gaussian_augmentation(0.2).name == "gaussian_aug_0.2"
+        assert DefenseConfig.randomized_smoothing(0.1).name == "rand_smooth_0.1"
+        assert DefenseConfig.adversarial_training().name == "adv_train"
+
+    def test_table1_variants(self):
+        variants = table1_variants()
+        assert set(variants) == {
+            "baseline",
+            "input_filter_3x3",
+            "input_filter_5x5",
+            "feature_filter_3x3",
+            "feature_filter_5x5",
+        }
+
+    def test_table2_variants_full(self):
+        variants = table2_variants(include_baselines=True)
+        names = set(variants)
+        assert "baseline" in names
+        assert "adv_train" in names
+        assert sum(1 for name in names if name.startswith("gaussian_aug")) == 3
+        assert sum(1 for name in names if name.startswith("rand_smooth")) == 3
+        assert {"conv3x3", "conv5x5", "conv7x7"} <= names
+        assert sum(1 for name in names if name.startswith("tv_")) == 2
+        assert any(name.startswith("tik_hf") for name in names)
+        assert any(name.startswith("tik_pseudo") for name in names)
+
+    def test_table2_variants_without_baselines(self):
+        variants = table2_variants(include_baselines=False)
+        assert "adv_train" not in variants
+        assert not any(name.startswith("gaussian_aug") for name in variants)
+
+
+class TestDefendedClassifierBuild:
+    @pytest.mark.parametrize(
+        "config, expected_layer",
+        [
+            (DefenseConfig.input_blur(3), InputBlur),
+            (DefenseConfig.feature_blur(3), FeatureMapBlur),
+            (DefenseConfig.depthwise_linf(3, 0.1), DepthwiseConv2D),
+        ],
+    )
+    def test_architecture_contains_defense_layer(self, config, expected_layer):
+        classifier = DefendedClassifier.build(config, seed=0, image_size=16)
+        assert any(isinstance(layer, expected_layer) for layer in classifier.model.layers)
+
+    def test_regularizer_selection(self):
+        assert isinstance(
+            DefendedClassifier.build(DefenseConfig.total_variation(0.1), image_size=16).regularizer,
+            TotalVariationRegularizer,
+        )
+        assert isinstance(
+            DefendedClassifier.build(DefenseConfig.tikhonov_hf(0.1), image_size=16).regularizer,
+            TikhonovRegularizer,
+        )
+        assert isinstance(
+            DefendedClassifier.build(DefenseConfig.baseline(), image_size=16).regularizer,
+            NullRegularizer,
+        )
+
+    def test_predict_shape_without_training(self):
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0, image_size=16)
+        images = np.random.default_rng(0).uniform(size=(4, 3, 16, 16))
+        predictions = classifier.predict(images)
+        assert predictions.shape == (4,)
+        logits = classifier.predict_logits(images)
+        assert logits.shape == (4, 18)
+
+    def test_name_property(self):
+        classifier = DefendedClassifier.build(DefenseConfig.total_variation(2e-2), image_size=16)
+        assert classifier.name == "tv_0.02"

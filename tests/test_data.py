@@ -1,0 +1,388 @@
+"""Unit tests for the synthetic LISA-like dataset: shapes, signs, transforms, loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    LISA_CLASS_FREQUENCIES,
+    NUM_CLASSES,
+    SIGN_CLASSES,
+    STICKER_BAND_FRACTIONS,
+    SignDataset,
+    ViewParameters,
+    augment_view,
+    class_distribution,
+    class_index,
+    class_name,
+    composite_on_background,
+    gaussian_noise,
+    iterate_batches,
+    make_dataset,
+    make_eval_set_for_class,
+    make_stop_sign_eval_set,
+    photometric_jitter,
+    render_canonical,
+    render_sign,
+    smooth_background,
+    sticker_mask,
+    train_test_split,
+    viewpoint_transform,
+)
+from repro.data import shapes
+
+
+class TestShapes:
+    def test_grid_pixel_centers(self):
+        rows, cols = shapes.grid(4)
+        assert rows.shape == (4, 4)
+        assert rows[0, 0] == 0.5
+        assert cols[0, 3] == 3.5
+
+    def test_circle_mask_area(self):
+        mask = shapes.circle_mask(32, (16, 16), 8)
+        area = mask.sum()
+        assert abs(area - np.pi * 64) / (np.pi * 64) < 0.1
+
+    def test_rectangle_mask(self):
+        mask = shapes.rectangle_mask(10, 2, 3, 6, 8)
+        assert mask.sum() == 4 * 5
+        assert mask[2, 3] and not mask[1, 3]
+
+    def test_polygon_mask_square(self):
+        vertices = np.array([[2.0, 2.0], [2.0, 8.0], [8.0, 8.0], [8.0, 2.0]])
+        mask = shapes.polygon_mask(12, vertices)
+        assert 30 <= mask.sum() <= 42  # ~6x6 square
+
+    def test_regular_polygon_vertex_count_and_radius(self):
+        vertices = shapes.regular_polygon_vertices((16, 16), 10, 8)
+        assert vertices.shape == (8, 2)
+        radii = np.linalg.norm(vertices - np.array([16, 16]), axis=1)
+        assert np.allclose(radii, 10.0)
+
+    def test_octagon_mask_symmetric(self):
+        vertices = shapes.regular_polygon_vertices((16, 16), 12, 8, rotation=np.pi / 8)
+        mask = shapes.polygon_mask(32, vertices)
+        assert mask.sum() > 0
+        assert np.allclose(mask, mask[::-1, :])  # vertical symmetry
+
+    def test_ring_mask_excludes_center(self):
+        mask = shapes.ring_mask(32, (16, 16), 10, 5)
+        assert not mask[16, 16]
+        assert mask[16, 8]
+
+    def test_stripe_masks(self):
+        horizontal = shapes.horizontal_stripe_mask(16, 8, 2)
+        vertical = shapes.vertical_stripe_mask(16, 8, 2)
+        assert horizontal.sum() == 2 * 16
+        assert vertical.sum() == 2 * 16
+        assert (horizontal.T == vertical).all()
+
+    def test_diagonal_stripe(self):
+        mask = shapes.diagonal_stripe_mask(16, 0.0, 2.0, slope=1.0)
+        assert mask[5, 5] or mask[5, 4] or mask[4, 5]
+
+    def test_cross_mask(self):
+        mask = shapes.cross_mask(20, (10, 10), 6, 2)
+        assert mask[10, 10]
+        assert mask[10, 5] and mask[5, 10]
+        assert not mask[4, 4]
+
+    def test_triangle_orientation(self):
+        up = shapes.triangle_mask(20, (10, 10), 8, point_up=True)
+        down = shapes.triangle_mask(20, (10, 10), 8, point_up=False)
+        # For an upward triangle the top half is narrower than the bottom half.
+        assert up[:10].sum() < up[10:].sum()
+        assert down[:10].sum() > down[10:].sum()
+
+    @pytest.mark.parametrize("direction", ["up", "down", "left", "right"])
+    def test_arrow_directions(self, direction):
+        mask = shapes.arrow_mask(24, (12, 12), 10, 2, direction=direction)
+        assert mask.sum() > 0
+
+    def test_arrow_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            shapes.arrow_mask(24, (12, 12), 10, 2, direction="diagonal")
+
+
+class TestSignRendering:
+    def test_class_list_size(self):
+        assert NUM_CLASSES == 18
+        assert len(set(SIGN_CLASSES)) == 18
+
+    def test_class_index_roundtrip(self):
+        for index, name in enumerate(SIGN_CLASSES):
+            assert class_index(name) == index
+            assert class_name(index) == name
+
+    def test_frequencies_cover_all_classes_and_sum_to_one(self):
+        assert set(LISA_CLASS_FREQUENCIES) == set(SIGN_CLASSES)
+        assert sum(LISA_CLASS_FREQUENCIES.values()) == pytest.approx(1.0, abs=0.01)
+
+    @pytest.mark.parametrize("name", SIGN_CLASSES)
+    def test_every_class_renders(self, name):
+        image, mask = render_canonical(name, 32)
+        assert image.shape == (3, 32, 32)
+        assert mask.shape == (32, 32)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+        assert 0.05 < mask.mean() < 0.9
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            render_canonical("notASign")
+
+    def test_rendering_is_deterministic(self):
+        first, _ = render_canonical("stop", 32)
+        second, _ = render_canonical("stop", 32)
+        assert np.array_equal(first, second)
+
+    def test_classes_are_visually_distinct(self):
+        images = [render_canonical(name, 32)[0] for name in SIGN_CLASSES]
+        for i in range(len(images)):
+            for j in range(i + 1, len(images)):
+                assert np.abs(images[i] - images[j]).mean() > 0.005
+
+    def test_stop_sign_is_predominantly_red(self):
+        image, mask = render_canonical("stop", 32)
+        red = image[0][mask].mean()
+        green = image[1][mask].mean()
+        assert red > green
+
+    def test_render_sign_with_jitter(self):
+        image, mask = render_sign("stop", 32, rng=np.random.default_rng(0), jitter=True)
+        canonical, _ = render_canonical("stop", 32)
+        assert image.shape == canonical.shape
+        assert not np.array_equal(image, canonical)
+
+    def test_render_sign_without_jitter_is_canonical(self):
+        image, _ = render_sign("yield", 32, jitter=False)
+        canonical, _ = render_canonical("yield", 32)
+        assert np.array_equal(image, canonical)
+
+
+class TestTransforms:
+    def test_identity_view_preserves_image(self):
+        image, mask = render_canonical("stop", 32)
+        warped, warped_mask = viewpoint_transform(image, mask, ViewParameters())
+        assert np.abs(warped - image).mean() < 0.05
+        assert (warped_mask == mask).mean() > 0.95
+
+    def test_scale_changes_mask_area(self):
+        image, mask = render_canonical("stop", 32)
+        _, small_mask = viewpoint_transform(image, mask, ViewParameters(scale=0.5))
+        assert small_mask.sum() < mask.sum()
+
+    def test_rotation_preserves_rough_area(self):
+        image, mask = render_canonical("stop", 32)
+        _, rotated_mask = viewpoint_transform(image, mask, ViewParameters(rotation_degrees=20))
+        assert abs(int(rotated_mask.sum()) - int(mask.sum())) < 0.25 * mask.sum()
+
+    def test_transform_without_mask(self):
+        image, _ = render_canonical("stop", 32)
+        warped, warped_mask = viewpoint_transform(image, None, ViewParameters(scale=0.8))
+        assert warped.shape == image.shape
+        assert warped_mask is None
+
+    def test_output_clipped_to_unit_interval(self):
+        image, mask = render_canonical("stop", 32)
+        warped, _ = viewpoint_transform(image * 2.0 - 0.5, mask, ViewParameters(scale=0.9))
+        assert warped.min() >= 0.0 and warped.max() <= 1.0
+
+    def test_random_view_parameters_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            view = ViewParameters.random(rng)
+            assert 0.7 <= view.scale <= 1.2
+            assert abs(view.rotation_degrees) <= 12.0
+
+    def test_photometric_jitter_stays_in_range(self):
+        rng = np.random.default_rng(0)
+        image, _ = render_canonical("stop", 32)
+        jittered = photometric_jitter(image, rng)
+        assert jittered.min() >= 0.0 and jittered.max() <= 1.0
+
+    def test_gaussian_noise_sigma_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        image, _ = render_canonical("stop", 32)
+        assert np.array_equal(gaussian_noise(image, 0.0, rng), image)
+
+    def test_gaussian_noise_changes_image(self):
+        rng = np.random.default_rng(0)
+        image, _ = render_canonical("stop", 32)
+        noisy = gaussian_noise(image, 0.1, rng)
+        assert not np.array_equal(noisy, image)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+    def test_smooth_background_is_low_frequency(self):
+        from repro.analysis import high_frequency_energy_fraction
+
+        rng = np.random.default_rng(0)
+        background = smooth_background(32, rng)
+        assert background.shape == (3, 32, 32)
+        assert high_frequency_energy_fraction(background[0]) < 0.2
+
+    def test_composite_on_background(self):
+        rng = np.random.default_rng(0)
+        image, mask = render_canonical("stop", 32)
+        background = smooth_background(32, rng)
+        composited = composite_on_background(image, mask, background)
+        assert np.allclose(composited[:, mask], image[:, mask])
+        assert np.allclose(composited[:, ~mask], background[:, ~mask])
+
+    def test_augment_view_returns_usable_mask(self):
+        rng = np.random.default_rng(0)
+        image, mask = render_canonical("stop", 32)
+        augmented, augmented_mask = augment_view(image, mask, rng)
+        assert augmented.shape == image.shape
+        assert augmented_mask.any()
+
+
+class TestDatasetBuilder:
+    def test_dataset_shapes(self):
+        dataset = make_dataset(50, image_size=16, seed=0)
+        assert dataset.images.shape == (50, 3, 16, 16)
+        assert dataset.labels.shape == (50,)
+        assert dataset.masks.shape == (50, 16, 16)
+        assert dataset.num_classes == 18
+        assert dataset.image_size == 16
+
+    def test_every_class_present(self):
+        dataset = make_dataset(80, image_size=16, seed=1, min_per_class=2)
+        counts = np.bincount(dataset.labels, minlength=18)
+        assert (counts >= 1).all()
+
+    def test_imbalanced_distribution_favors_stop(self):
+        dataset = make_dataset(600, image_size=16, seed=2, imbalanced=True)
+        counts = np.bincount(dataset.labels, minlength=18)
+        assert counts[class_index("stop")] == counts.max()
+
+    def test_uniform_distribution(self):
+        probabilities = class_distribution(imbalanced=False)
+        assert np.allclose(probabilities, 1.0 / 18)
+
+    def test_deterministic_given_seed(self):
+        first = make_dataset(30, image_size=16, seed=5)
+        second = make_dataset(30, image_size=16, seed=5)
+        assert np.array_equal(first.images, second.images)
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_different_seed_differs(self):
+        first = make_dataset(30, image_size=16, seed=5)
+        second = make_dataset(30, image_size=16, seed=6)
+        assert not np.array_equal(first.images, second.images)
+
+    def test_no_augmentation_gives_canonical_images(self):
+        dataset = make_dataset(20, image_size=16, seed=0, augmentation_strength=0.0)
+        index = int(np.where(dataset.labels == class_index("stop"))[0][0])
+        canonical, _ = render_canonical("stop", 16)
+        assert np.allclose(dataset.images[index], canonical)
+
+    def test_indexing_and_slicing(self):
+        dataset = make_dataset(20, image_size=16, seed=0)
+        single = dataset[3]
+        assert isinstance(single, SignDataset)
+        assert len(single) == 1
+        sliced = dataset[2:7]
+        assert len(sliced) == 5
+
+    def test_subset_by_class(self):
+        dataset = make_dataset(80, image_size=16, seed=0)
+        stop_only = dataset.subset_by_class(class_index("stop"))
+        assert (stop_only.labels == class_index("stop")).all()
+
+    def test_sample_without_replacement(self):
+        dataset = make_dataset(30, image_size=16, seed=0)
+        sample = dataset.sample(10, np.random.default_rng(0))
+        assert len(sample) == 10
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SignDataset(np.zeros((2, 3, 8, 8)), np.zeros(3, dtype=int), np.zeros((2, 8, 8), dtype=bool))
+
+    def test_train_test_split_partitions(self):
+        dataset = make_dataset(50, image_size=16, seed=0)
+        train, test = train_test_split(dataset, test_fraction=0.2, seed=0)
+        assert len(train) + len(test) == 50
+        assert len(test) == 10
+
+    def test_train_test_split_rejects_bad_fraction(self):
+        dataset = make_dataset(10, image_size=16, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=1.5)
+
+
+class TestEvaluationSet:
+    def test_stop_sign_eval_set_size_and_labels(self):
+        evaluation = make_stop_sign_eval_set(num_views=40, image_size=16, seed=0)
+        assert len(evaluation) == 40
+        assert (evaluation.labels == class_index("stop")).all()
+
+    def test_eval_set_deterministic(self):
+        first = make_stop_sign_eval_set(num_views=8, image_size=16, seed=0)
+        second = make_stop_sign_eval_set(num_views=8, image_size=16, seed=0)
+        assert np.array_equal(first.images, second.images)
+
+    def test_eval_set_views_differ(self):
+        evaluation = make_stop_sign_eval_set(num_views=8, image_size=32, seed=0)
+        assert not np.array_equal(evaluation.images[0], evaluation.images[7])
+
+    def test_eval_set_for_other_class(self):
+        evaluation = make_eval_set_for_class("yield", num_views=6, image_size=16, seed=0)
+        assert (evaluation.labels == class_index("yield")).all()
+
+    def test_sticker_mask_subset_of_sign(self):
+        _image, mask = render_canonical("stop", 32)
+        stickers = sticker_mask(mask)
+        assert stickers.sum() > 0
+        assert (stickers & ~mask).sum() == 0
+        assert stickers.sum() < mask.sum()
+
+    def test_sticker_bands_are_two_disjoint_regions(self):
+        assert len(STICKER_BAND_FRACTIONS) == 2
+        (top_a, bottom_a), (top_b, bottom_b) = STICKER_BAND_FRACTIONS
+        assert bottom_a < top_b
+
+    def test_custom_sticker_bands(self):
+        _image, mask = render_canonical("stop", 32)
+        wide = sticker_mask(mask, bands=((0.2, 0.8),))
+        narrow = sticker_mask(mask, bands=((0.45, 0.55),))
+        assert wide.sum() > narrow.sum()
+
+
+class TestLoaders:
+    def test_iterate_batches_covers_dataset(self):
+        dataset = make_dataset(25, image_size=16, seed=0)
+        seen = 0
+        for images, labels, masks in iterate_batches(dataset, batch_size=8, shuffle=False):
+            assert images.shape[0] == labels.shape[0] == masks.shape[0]
+            seen += len(labels)
+        assert seen == 25
+
+    def test_drop_last(self):
+        dataset = make_dataset(25, image_size=16, seed=0)
+        batches = list(iterate_batches(dataset, 8, shuffle=False, drop_last=True))
+        assert len(batches) == 3
+        assert all(len(batch[1]) == 8 for batch in batches)
+
+    def test_shuffle_changes_order(self):
+        dataset = make_dataset(40, image_size=16, seed=0)
+        ordered = next(iter(iterate_batches(dataset, 40, shuffle=False)))[1]
+        shuffled = next(iter(iterate_batches(dataset, 40, shuffle=True, rng=np.random.default_rng(1))))[1]
+        assert not np.array_equal(ordered, shuffled)
+        assert np.array_equal(np.sort(ordered), np.sort(shuffled))
+
+    def test_batch_iterator_len(self):
+        dataset = make_dataset(25, image_size=16, seed=0)
+        iterator = BatchIterator(dataset, batch_size=8)
+        assert len(iterator) == 4
+        iterator_drop = BatchIterator(dataset, batch_size=8, drop_last=True)
+        assert len(iterator_drop) == 3
+
+    def test_batch_iterator_reusable(self):
+        dataset = make_dataset(16, image_size=16, seed=0)
+        iterator = BatchIterator(dataset, batch_size=8, seed=0)
+        first_pass = sum(len(batch[1]) for batch in iterator)
+        second_pass = sum(len(batch[1]) for batch in iterator)
+        assert first_pass == second_pass == 16

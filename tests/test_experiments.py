@@ -1,0 +1,230 @@
+"""Unit tests for the experiment harness plumbing (profiles, context, reporting)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DefenseConfig
+from repro.experiments import (
+    ExperimentContext,
+    ExperimentProfile,
+    clear_context_cache,
+    fast_profile,
+    full_profile,
+    get_context,
+    smoke_profile,
+)
+from repro.experiments.reporting import format_percentage, format_table, rows_to_json, save_rows
+from repro.experiments.whitebox import rp2_config_from_profile
+
+
+TINY_PROFILE = ExperimentProfile(
+    name="unit-test",
+    dataset_size=60,
+    image_size=16,
+    epochs=1,
+    eval_views=4,
+    attack_steps=3,
+    target_classes=(5,),
+    smoothing_samples=2,
+    include_smoothing_baselines=False,
+    dct_sweep=(4,),
+    seed=0,
+)
+
+
+class TestProfiles:
+    def test_fast_profile_defaults(self):
+        profile = fast_profile()
+        assert profile.name == "fast"
+        assert profile.dataset_size > 0
+        assert len(profile.target_classes) >= 1
+        assert "fast" in profile.describe()
+
+    def test_full_profile_covers_all_targets(self):
+        profile = full_profile()
+        assert len(profile.target_classes) == 17
+        assert 0 not in profile.target_classes
+        assert profile.eval_views == 40
+        assert profile.attack_steps == 300
+
+    def test_smoke_profile_is_small(self):
+        profile = smoke_profile()
+        assert profile.dataset_size < fast_profile().dataset_size
+        assert not profile.include_smoothing_baselines
+
+    def test_rp2_config_from_profile(self):
+        config = rp2_config_from_profile(TINY_PROFILE)
+        assert config.steps == TINY_PROFILE.attack_steps
+        assert config.lambda_reg == TINY_PROFILE.attack_lambda
+
+
+class TestExperimentContext:
+    def test_data_properties(self):
+        context = ExperimentContext(TINY_PROFILE)
+        assert len(context.train_set) + len(context.test_set) == TINY_PROFILE.dataset_size
+        assert len(context.eval_set) == TINY_PROFILE.eval_views
+        assert context.sticker_masks.shape == (
+            TINY_PROFILE.eval_views,
+            TINY_PROFILE.image_size,
+            TINY_PROFILE.image_size,
+        )
+
+    def test_model_cache_returns_same_object(self):
+        context = ExperimentContext(TINY_PROFILE)
+        first = context.get_model(DefenseConfig.baseline())
+        second = context.get_model(DefenseConfig.baseline())
+        assert first is second
+
+    def test_table1_models_share_weights(self):
+        context = ExperimentContext(TINY_PROFILE)
+        models = context.table1_models()
+        baseline = models["baseline"].model.named_parameters()["conv1.weight"].data
+        filtered = models["input_filter_3x3"].model.named_parameters()["conv1.weight"].data
+        assert np.array_equal(baseline, filtered)
+
+    def test_table2_configs_respect_profile(self):
+        context = ExperimentContext(TINY_PROFILE)
+        configs = context.table2_configs()
+        assert "adv_train" not in configs
+        assert "baseline" in configs
+
+    def test_global_context_cache(self):
+        clear_context_cache()
+        first = get_context(TINY_PROFILE)
+        second = get_context(TINY_PROFILE)
+        assert first is second
+        clear_context_cache()
+        third = get_context(TINY_PROFILE)
+        assert third is not first
+        clear_context_cache()
+
+    def test_training_config_derived_from_profile(self):
+        context = ExperimentContext(TINY_PROFILE)
+        training = context.training_config()
+        assert training.epochs == TINY_PROFILE.epochs
+        assert training.batch_size == TINY_PROFILE.batch_size
+
+
+class TestReporting:
+    def test_format_percentage(self):
+        assert format_percentage(0.175) == "17.5%"
+        assert format_percentage(1.0, decimals=0) == "100%"
+
+    def test_format_table_alignment(self):
+        rows = [
+            {"model": "baseline", "asr": 0.9},
+            {"model": "tv", "asr": 0.175},
+        ]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "model" in lines[0] and "asr" in lines[0]
+        assert "0.9000" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_rows_to_json_roundtrip(self):
+        rows = [{"model": "baseline", "asr": 0.5}]
+        parsed = json.loads(rows_to_json(rows))
+        assert parsed == [{"model": "baseline", "asr": 0.5}]
+
+    def test_save_rows(self, tmp_path):
+        path = save_rows([{"x": 1}], tmp_path / "nested" / "rows.json")
+        assert path.exists()
+        assert json.loads(path.read_text()) == [{"x": 1}]
+
+
+class TestExperimentFunctionsOnTinyProfile:
+    """Plumbing-level checks of the table functions on a minimal context.
+
+    Only the cheap table functions are exercised here (a single model,
+    a handful of attack steps); the full sweeps are covered by the
+    benchmark harness.
+    """
+
+    @pytest.fixture(scope="class")
+    def context(self):
+        return ExperimentContext(TINY_PROFILE)
+
+    def test_whitebox_single_model(self, context):
+        from repro.experiments.whitebox import run_whitebox_evaluation
+
+        rows = run_whitebox_evaluation(context, model_names=["baseline"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.model_name == "baseline"
+        assert 0.0 <= row.average_success_rate <= row.worst_success_rate <= 1.0
+        assert set(row.per_target_success) == set(TINY_PROFILE.target_classes)
+
+    def test_whitebox_sweep_is_cached(self, context):
+        from repro.experiments.whitebox import run_whitebox_evaluation
+
+        first = run_whitebox_evaluation(context, model_names=["baseline"])[0]
+        second = run_whitebox_evaluation(context, model_names=["baseline"])[0]
+        assert first is second
+
+    def test_pgd_single_model(self, context):
+        from repro.experiments.pgd_eval import run_pgd_evaluation
+
+        rows = run_pgd_evaluation(context, model_names=["baseline"])
+        assert len(rows) == 1
+        assert 0.0 <= rows[0].attack_success_rate <= 1.0
+
+    def test_adaptive_single_model(self, context):
+        from repro.experiments.adaptive import run_adaptive_evaluation
+
+        rows = run_adaptive_evaluation(context, model_names=["tv_0.02"])
+        assert len(rows) == 1
+        assert rows[0].attack_name == "rp2_adaptive_tv"
+
+    def test_adaptive_attack_factory_selection(self, context):
+        from repro.experiments.adaptive import adaptive_attack_for
+
+        baseline = context.get_model(DefenseConfig.baseline())
+        assert adaptive_attack_for(baseline, TINY_PROFILE) is None
+        tv_model = context.get_model(DefenseConfig.total_variation(2e-2))
+        factory = adaptive_attack_for(tv_model, TINY_PROFILE)
+        attack = factory(tv_model.model, 5)
+        assert attack.name == "rp2_adaptive_tv"
+
+    def test_figure1_summary(self, context):
+        from repro.experiments.figures import figure1_input_spectra
+
+        summary = figure1_input_spectra(context)
+        assert set(summary.spectra) == {"clean", "perturbed"}
+        assert all(0.0 <= value <= 1.0 for value in summary.high_frequency_fractions.values())
+
+    def test_figure2_summary(self, context):
+        from repro.experiments.figures import figure2_feature_spectra
+
+        data = figure2_feature_spectra(context, num_channels=2)
+        assert data["clean_spectra"].shape[0] == 2
+        assert len(data["summary_difference_hf"]) == 2
+
+    def test_figure4_summary(self, context):
+        from repro.experiments.figures import figure4_layer2_spectra
+
+        summary = figure4_layer2_spectra(context)
+        assert "layer1_mean_hf" in summary.high_frequency_fractions
+        assert "layer2_mean_hf" in summary.high_frequency_fractions
+
+    def test_blackbox_rows(self, context):
+        from repro.experiments.blackbox import run_blackbox_evaluation
+
+        rows = run_blackbox_evaluation(context)
+        names = [row.model_name for row in rows]
+        assert names[0] == "baseline"
+        assert len(names) == 5
+        for row in rows:
+            assert 0.0 <= row.attack_success_rate <= 1.0
+            assert 0.0 <= row.accuracy <= 1.0

@@ -1,0 +1,163 @@
+"""Unit tests for functional ops: softmax, losses, total variation, norms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    cross_entropy,
+    frobenius_norm,
+    linf_norm,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    softmax,
+    total_variation_2d,
+    total_variation_image,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert encoded.shape == (3, 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_rows_sum_to_one(self):
+        encoded = one_hot(np.array([4, 4, 0]), 5)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((5, 4)))
+        probabilities = softmax(logits).data
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(
+            softmax(Tensor(logits)).data, softmax(Tensor(logits + 100.0)).data
+        )
+
+    def test_large_logits_are_stable(self):
+        logits = Tensor(np.array([[1000.0, 0.0]]))
+        probabilities = softmax(logits).data
+        assert np.isfinite(probabilities).all()
+        assert probabilities[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistency(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal((3, 6)))
+        assert np.allclose(log_softmax(logits).data, np.log(softmax(logits).data), atol=1e-10)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_is_near_zero(self):
+        logits = Tensor(np.array([[20.0, 0.0, 0.0]]))
+        loss = cross_entropy(logits, np.array([0]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(10.0))
+
+    def test_gradient_is_probability_minus_onehot(self):
+        rng = np.random.default_rng(2)
+        logits_data = rng.standard_normal((3, 5))
+        labels = np.array([1, 4, 2])
+        logits = Tensor(logits_data, requires_grad=True)
+        cross_entropy(logits, labels).backward()
+        probabilities = softmax(Tensor(logits_data)).data
+        expected = (probabilities - one_hot(labels, 5)) / 3.0
+        assert np.allclose(logits.grad, expected, atol=1e-10)
+
+    def test_nll_loss_matches_cross_entropy(self):
+        logits = Tensor(np.random.default_rng(3).standard_normal((4, 6)))
+        labels = np.array([0, 5, 2, 3])
+        assert nll_loss(log_softmax(logits), labels).item() == pytest.approx(
+            cross_entropy(logits, labels).item()
+        )
+
+
+class TestMSELoss:
+    def test_zero_for_identical(self):
+        tensor = Tensor(np.ones((3, 3)))
+        assert mse_loss(tensor, Tensor(np.ones((3, 3)))).item() == 0.0
+
+    def test_value(self):
+        prediction = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert mse_loss(prediction, target).item() == pytest.approx(2.5)
+
+
+class TestTotalVariation:
+    def test_zero_for_constant_maps(self):
+        maps = Tensor(np.full((2, 3, 8, 8), 5.0))
+        assert total_variation_2d(maps).item() == pytest.approx(0.0)
+
+    def test_positive_for_varying_maps(self):
+        rng = np.random.default_rng(4)
+        maps = Tensor(rng.standard_normal((1, 2, 6, 6)))
+        assert total_variation_2d(maps).item() > 0.0
+
+    def test_step_edge_value(self):
+        # A single vertical step edge of height 1 across an 4x4 map:
+        # 4 horizontal neighbor pairs differ by 1 -> TV = 4 for that channel.
+        image = np.zeros((1, 1, 4, 4))
+        image[:, :, :, 2:] = 1.0
+        assert total_variation_2d(Tensor(image)).item() == pytest.approx(4.0)
+
+    def test_normalization_by_batch_and_channels(self):
+        image = np.zeros((1, 1, 4, 4))
+        image[:, :, :, 2:] = 1.0
+        single = total_variation_2d(Tensor(image)).item()
+        repeated = np.tile(image, (3, 2, 1, 1))
+        assert total_variation_2d(Tensor(repeated)).item() == pytest.approx(single)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            total_variation_2d(Tensor(np.zeros((4, 4))))
+
+    def test_spike_has_higher_tv_than_smooth(self):
+        smooth = np.linspace(0, 1, 64).reshape(1, 1, 8, 8)
+        spiky = smooth.copy()
+        spiky[0, 0, 4, 4] += 3.0
+        assert (
+            total_variation_2d(Tensor(spiky)).item()
+            > total_variation_2d(Tensor(smooth)).item()
+        )
+
+    def test_image_variant_matches_tensor_variant(self):
+        rng = np.random.default_rng(5)
+        image = rng.standard_normal((3, 6, 6))
+        expected = total_variation_2d(Tensor(image[None])) * 3.0  # undo 1/(N*K)
+        assert total_variation_image(image) == pytest.approx(expected.item())
+
+    def test_image_variant_accepts_2d(self):
+        image = np.zeros((4, 4))
+        image[:, 2:] = 1.0
+        assert total_variation_image(image) == pytest.approx(4.0)
+
+    def test_gradient_flows(self):
+        maps = Tensor(np.random.default_rng(6).standard_normal((1, 1, 5, 5)), requires_grad=True)
+        total_variation_2d(maps).backward()
+        assert maps.grad is not None
+        assert np.abs(maps.grad).sum() > 0
+
+
+class TestNorms:
+    def test_linf_norm(self):
+        assert linf_norm(Tensor([-3.0, 2.0])).item() == pytest.approx(3.0)
+
+    def test_frobenius_norm(self):
+        assert frobenius_norm(Tensor(np.array([[3.0, 4.0]]))).item() == pytest.approx(5.0)
+
+    def test_linf_gradient_selects_max(self):
+        tensor = Tensor([1.0, -5.0, 2.0], requires_grad=True)
+        linf_norm(tensor).backward()
+        assert np.allclose(tensor.grad, [0.0, -1.0, 0.0])

@@ -1,0 +1,196 @@
+"""Unit tests for layers and the Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+
+def small_model(rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return Sequential(
+        [
+            Conv2D(3, 4, 3, padding=1, rng=rng, name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(2, name="pool1"),
+            Flatten(name="flatten"),
+            Dense(4 * 4 * 4, 5, rng=rng, name="dense"),
+        ]
+    )
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(6, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((7, 6)))).shape == (7, 3)
+
+    def test_parameters_registered(self):
+        layer = Dense(6, 3, rng=np.random.default_rng(0))
+        assert set(layer.named_parameters()) == {"weight", "bias"}
+        assert len(layer.parameters()) == 2
+
+    def test_bias_initialized_to_zero(self):
+        layer = Dense(4, 2, rng=np.random.default_rng(0))
+        assert np.allclose(layer.bias.data, 0.0)
+
+    def test_zero_grad(self):
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestConv2DLayer:
+    def test_output_shape_same_padding(self):
+        layer = Conv2D(3, 8, 5, padding=2, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 8, 16, 16)
+
+    def test_stride(self):
+        layer = Conv2D(1, 2, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((1, 1, 8, 8)))).shape == (1, 2, 4, 4)
+
+    def test_has_trainable_parameters(self):
+        layer = Conv2D(1, 2, 3, rng=np.random.default_rng(0))
+        assert all(parameter.requires_grad for parameter in layer.parameters())
+
+
+class TestDepthwiseLayer:
+    def test_default_initialization_is_box_blur(self):
+        layer = DepthwiseConv2D(4, 3)
+        assert np.allclose(layer.weight.data, 1.0 / 9.0)
+
+    def test_same_padding_by_default(self):
+        layer = DepthwiseConv2D(2, 5)
+        assert layer(Tensor(np.zeros((1, 2, 12, 12)))).shape == (1, 2, 12, 12)
+
+    def test_non_trainable_mode(self):
+        layer = DepthwiseConv2D(2, 3, trainable=False)
+        assert layer.parameters() == []
+
+    def test_rejects_bad_initial_weight_shape(self):
+        with pytest.raises(ValueError):
+            DepthwiseConv2D(2, 3, initial_weight=np.zeros((2, 5, 5)))
+
+    def test_custom_initial_weight(self):
+        weight = np.zeros((2, 3, 3))
+        weight[:, 1, 1] = 1.0  # identity kernels
+        layer = DepthwiseConv2D(2, 3, initial_weight=weight)
+        image = np.random.default_rng(0).standard_normal((1, 2, 6, 6))
+        assert np.allclose(layer(Tensor(image)).data, image)
+
+
+class TestActivationAndPooling:
+    def test_relu_layer(self):
+        assert np.allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_maxpool_layer_shape(self):
+        assert MaxPool2D(2)(Tensor(np.zeros((1, 1, 6, 6)))).shape == (1, 1, 3, 3)
+
+    def test_avgpool_layer_shape(self):
+        assert AvgPool2D(3)(Tensor(np.zeros((1, 1, 6, 6)))).shape == (1, 1, 2, 2)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.zeros((2, 3, 4, 4)))).shape == (2, 48)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        data = np.random.default_rng(1).standard_normal((4, 4))
+        assert np.allclose(layer(Tensor(data)).data, data)
+
+    def test_training_mode_zeroes_some_entries(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.train()
+        output = layer(Tensor(np.ones((100, 100)))).data
+        dropped_fraction = (output == 0).mean()
+        assert 0.3 < dropped_fraction < 0.7
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(0))
+        output = layer(Tensor(np.ones((200, 200)))).data
+        assert output.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_rate_is_identity(self):
+        layer = Dropout(0.0)
+        data = np.ones((3, 3))
+        assert np.allclose(layer(Tensor(data)).data, data)
+
+
+class TestSequential:
+    def test_forward_shape(self):
+        model = small_model()
+        assert model(Tensor(np.zeros((2, 3, 8, 8)))).shape == (2, 5)
+
+    def test_parameters_aggregated(self):
+        model = small_model()
+        # conv (w, b) + dense (w, b)
+        assert len(model.parameters()) == 4
+
+    def test_named_parameters_prefixed_with_layer_name(self):
+        names = set(small_model().named_parameters())
+        assert "conv1.weight" in names
+        assert "dense.bias" in names
+
+    def test_forward_with_activations_keys_in_order(self):
+        model = small_model()
+        logits, activations = model.forward_with_activations(Tensor(np.zeros((1, 3, 8, 8))))
+        assert list(activations) == ["conv1", "relu1", "pool1", "flatten", "dense"]
+        assert np.allclose(logits.data, activations["dense"].data)
+
+    def test_train_eval_propagates(self):
+        model = Sequential([Dropout(0.5), ReLU()])
+        model.eval()
+        assert all(not layer.training for layer in model.layers)
+        model.train()
+        assert all(layer.training for layer in model.layers)
+
+    def test_insert_and_append(self):
+        model = small_model()
+        depth = len(model)
+        model.insert(1, DepthwiseConv2D(4, 3, name="blur"))
+        assert len(model) == depth + 1
+        assert model[1].name == "blur"
+        model.append(ReLU(name="tail"))
+        assert model[-1].name == "tail"
+
+    def test_duplicate_layer_names_are_uniquified(self):
+        model = Sequential([ReLU(), ReLU(), ReLU()])
+        names = [layer.name for layer in model]
+        assert len(set(names)) == 3
+
+    def test_zero_grad_clears_all(self):
+        model = small_model()
+        model(Tensor(np.ones((1, 3, 8, 8)))).sum().backward()
+        assert any(parameter.grad is not None for parameter in model.parameters())
+        model.zero_grad()
+        assert all(parameter.grad is None for parameter in model.parameters())
+
+    def test_iteration_and_indexing(self):
+        model = small_model()
+        assert isinstance(model[0], Conv2D)
+        assert len(list(iter(model))) == len(model)
+
+    def test_base_layer_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Layer().forward(Tensor([1.0]))

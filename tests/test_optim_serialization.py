@@ -1,0 +1,183 @@
+"""Unit tests for optimizers, weight (de)serialization and NN metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, ReLU, Sequential
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.serialization import load_state_dict, load_weights, save_weights, state_dict
+from repro.nn.tensor import Tensor
+
+
+def quadratic_parameter():
+    return Tensor(np.array([5.0, -3.0]), requires_grad=True)
+
+
+def quadratic_loss(parameter):
+    return (parameter * parameter).sum()
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        parameter = quadratic_parameter()
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(parameter)
+            parameter.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_parameter()
+        momentum = quadratic_parameter()
+        plain_optimizer = SGD([plain], learning_rate=0.01)
+        momentum_optimizer = SGD([momentum], learning_rate=0.01, momentum=0.9)
+        for _ in range(30):
+            for parameter, optimizer in ((plain, plain_optimizer), (momentum, momentum_optimizer)):
+                loss = quadratic_loss(parameter)
+                parameter.zero_grad()
+                loss.backward()
+                optimizer.step()
+        assert np.abs(momentum.data).sum() < np.abs(plain.data).sum()
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1, weight_decay=0.5)
+        # Zero-gradient step: only weight decay acts.
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_skips_parameters_without_gradient(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1)
+        optimizer.step()
+        assert parameter.data[0] == 1.0
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+
+    def test_base_step_not_implemented(self):
+        optimizer = Optimizer([Tensor([1.0], requires_grad=True)], 0.1)
+        with pytest.raises(NotImplementedError):
+            optimizer.step()
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        parameter = quadratic_parameter()
+        optimizer = Adam([parameter], learning_rate=0.2)
+        for _ in range(200):
+            loss = quadratic_loss(parameter)
+            parameter.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 1e-2
+
+    def test_zero_grad_helper(self):
+        parameter = quadratic_parameter()
+        optimizer = Adam([parameter])
+        quadratic_loss(parameter).backward()
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+    def test_step_is_bounded_by_learning_rate(self):
+        # The very first ADAM step has magnitude ~= learning rate regardless
+        # of gradient scale.
+        parameter = Tensor(np.array([1000.0]), requires_grad=True)
+        optimizer = Adam([parameter], learning_rate=0.1)
+        quadratic_loss(parameter).backward()
+        before = parameter.data.copy()
+        optimizer.step()
+        assert np.abs(parameter.data - before).max() == pytest.approx(0.1, rel=1e-3)
+
+    def test_weight_decay(self):
+        parameter = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam([parameter], learning_rate=0.01, weight_decay=1.0)
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(1, 2, 3, padding=1, rng=rng, name="conv"),
+            ReLU(),
+            Flatten(),
+            Dense(2 * 4 * 4, 3, rng=rng, name="dense"),
+        ]
+    )
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip_in_memory(self):
+        model = build_model(0)
+        other = build_model(1)
+        load_state_dict(other, state_dict(model))
+        for name, parameter in model.named_parameters().items():
+            assert np.allclose(parameter.data, other.named_parameters()[name].data)
+
+    def test_state_dict_is_a_copy(self):
+        model = build_model(0)
+        state = state_dict(model)
+        state["conv.weight"][:] = 0.0
+        assert not np.allclose(model.named_parameters()["conv.weight"].data, 0.0)
+
+    def test_strict_load_rejects_missing_keys(self):
+        model = build_model(0)
+        state = state_dict(model)
+        state.pop("dense.bias")
+        with pytest.raises(KeyError):
+            load_state_dict(model, state, strict=True)
+
+    def test_non_strict_load_ignores_missing_keys(self):
+        model = build_model(0)
+        state = state_dict(model)
+        state.pop("dense.bias")
+        load_state_dict(model, state, strict=False)
+
+    def test_load_rejects_shape_mismatch(self):
+        model = build_model(0)
+        state = state_dict(model)
+        state["dense.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            load_state_dict(model, state, strict=False)
+
+    def test_save_and_load_file(self, tmp_path):
+        model = build_model(0)
+        path = tmp_path / "weights.npz"
+        save_weights(model, path)
+        other = build_model(1)
+        load_weights(other, path)
+        image = np.random.default_rng(2).standard_normal((1, 1, 4, 4))
+        assert np.allclose(model(Tensor(image)).data, other(Tensor(image)).data)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2.0 / 3.0)
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[2.0, 1.0]]))
+        assert accuracy(logits, np.array([0])) == 1.0
+
+    def test_top_k_accuracy(self):
+        logits = np.array([[0.5, 0.4, 0.1], [0.8, 0.15, 0.05]])
+        assert top_k_accuracy(logits, np.array([2, 1]), k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, np.array([2, 1]), k=3) == 1.0
+
+    def test_confusion_matrix(self):
+        logits = np.array([[2.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        matrix = confusion_matrix(logits, np.array([0, 1, 1]), num_classes=2)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix.sum() == 3

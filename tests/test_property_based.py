@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.analysis import attack_success_rate, high_frequency_energy_fraction, l2_dissimilarity
+from repro.attacks.dct import dct_matrix, low_frequency_mask, project_low_frequency_array
+from repro.core.blur_kernels import box_kernel, gaussian_kernel
+from repro.core.operators import (
+    difference_matrix,
+    high_frequency_operator,
+    moving_average_matrix,
+)
+from repro.nn.functional import one_hot, softmax, total_variation_2d
+from repro.nn.tensor import Tensor
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+small_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=6),
+    elements=finite_floats,
+)
+
+
+class TestTensorProperties:
+    @SETTINGS
+    @given(small_arrays, small_arrays)
+    def test_addition_commutes(self, a, b):
+        if a.shape != b.shape:
+            return
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        assert np.allclose(left, right)
+
+    @SETTINGS
+    @given(small_arrays)
+    def test_sum_gradient_is_ones(self, array):
+        tensor = Tensor(array, requires_grad=True)
+        tensor.sum().backward()
+        assert np.allclose(tensor.grad, 1.0)
+
+    @SETTINGS
+    @given(small_arrays)
+    def test_mul_gradient_is_other_operand(self, array):
+        a = Tensor(array, requires_grad=True)
+        b = Tensor(np.full_like(array, 2.5))
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, 2.5)
+
+    @SETTINGS
+    @given(small_arrays)
+    def test_relu_output_non_negative_and_bounded_by_input(self, array):
+        output = Tensor(array).relu().data
+        assert (output >= 0).all()
+        assert (output <= np.maximum(array, 0) + 1e-12).all()
+
+    @SETTINGS
+    @given(small_arrays)
+    def test_reshape_preserves_sum(self, array):
+        tensor = Tensor(array)
+        assert tensor.reshape(array.size).data.sum() == pytest.approx(array.sum())
+
+
+class TestFunctionalProperties:
+    @SETTINGS
+    @given(arrays(np.float64, (4, 7), elements=finite_floats))
+    def test_softmax_is_distribution(self, logits):
+        probabilities = softmax(Tensor(logits)).data
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert (probabilities >= 0).all()
+
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=20))
+    def test_one_hot_rows_sum_to_one(self, labels):
+        encoded = one_hot(np.array(labels), 10)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+        assert encoded.shape == (len(labels), 10)
+
+    @SETTINGS
+    @given(arrays(np.float64, (1, 2, 5, 5), elements=finite_floats))
+    def test_total_variation_non_negative_and_shift_invariant(self, maps):
+        tv = total_variation_2d(Tensor(maps)).item()
+        shifted = total_variation_2d(Tensor(maps + 3.0)).item()
+        assert tv >= 0.0
+        assert tv == pytest.approx(shifted, rel=1e-9, abs=1e-9)
+
+    @SETTINGS
+    @given(arrays(np.float64, (1, 2, 5, 5), elements=finite_floats), st.floats(0.1, 5.0))
+    def test_total_variation_scales_linearly(self, maps, scale):
+        base = total_variation_2d(Tensor(maps)).item()
+        scaled = total_variation_2d(Tensor(maps * scale)).item()
+        assert scaled == pytest.approx(base * scale, rel=1e-6, abs=1e-6)
+
+
+class TestOperatorProperties:
+    @SETTINGS
+    @given(st.integers(min_value=4, max_value=24))
+    def test_moving_average_rows_sum_to_one(self, size):
+        matrix = moving_average_matrix(size, 3)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    @SETTINGS
+    @given(st.integers(min_value=4, max_value=24))
+    def test_high_frequency_operator_kills_constants(self, size):
+        operator = high_frequency_operator(size, 3)
+        assert np.abs(operator @ np.ones(size)).max() < 1e-10
+
+    @SETTINGS
+    @given(st.integers(min_value=3, max_value=20))
+    def test_difference_matrix_kills_constants(self, size):
+        assert np.abs(difference_matrix(size) @ np.ones(size)).max() < 1e-12
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=16))
+    def test_dct_matrix_orthonormal(self, size):
+        matrix = dct_matrix(size)
+        assert np.allclose(matrix @ matrix.T, np.eye(size), atol=1e-9)
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=16))
+    def test_low_frequency_mask_size(self, dim):
+        mask = low_frequency_mask(16, dim)
+        assert mask.sum() == min(dim, 16) ** 2
+
+    @SETTINGS
+    @given(
+        arrays(np.float64, (1, 1, 8, 8), elements=finite_floats),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_low_frequency_projection_is_idempotent_and_contractive(self, image, dim):
+        once = project_low_frequency_array(image, dim)
+        twice = project_low_frequency_array(once, dim)
+        assert np.allclose(once, twice, atol=1e-8)
+        # Orthogonal projection never increases the L2 norm.
+        assert np.linalg.norm(once) <= np.linalg.norm(image) + 1e-8
+
+    @SETTINGS
+    @given(st.sampled_from([3, 5, 7, 9]))
+    def test_blur_kernels_normalized(self, size):
+        assert box_kernel(size).sum() == pytest.approx(1.0)
+        assert gaussian_kernel(size).sum() == pytest.approx(1.0)
+
+
+class TestMetricProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=30),
+        st.lists(st.integers(0, 5), min_size=1, max_size=30),
+    )
+    def test_attack_success_rate_bounds(self, clean, adversarial):
+        size = min(len(clean), len(adversarial))
+        rate = attack_success_rate(np.array(clean[:size]), np.array(adversarial[:size]))
+        assert 0.0 <= rate <= 1.0
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    def test_attack_success_rate_zero_for_identical(self, predictions):
+        array = np.array(predictions)
+        assert attack_success_rate(array, array) == 0.0
+
+    @SETTINGS
+    @given(arrays(np.float64, (2, 3, 4, 4), elements=st.floats(0.01, 1.0)))
+    def test_l2_dissimilarity_non_negative_and_symmetric_zero(self, images):
+        assert l2_dissimilarity(images, images) == 0.0
+        perturbed = np.clip(images + 0.1, 0.0, 1.0)
+        assert l2_dissimilarity(images, perturbed) >= 0.0
+
+    @SETTINGS
+    @given(arrays(np.float64, (8, 8), elements=finite_floats))
+    def test_high_frequency_fraction_in_unit_interval(self, image):
+        fraction = high_frequency_energy_fraction(image)
+        assert 0.0 <= fraction <= 1.0
