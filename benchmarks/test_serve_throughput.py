@@ -1,0 +1,119 @@
+"""Serving throughput: naive per-request loop vs the micro-batching scheduler.
+
+Unlike the paper-table benchmarks, this one measures the new serving
+subsystem: the same stream of unique images is pushed through
+
+* the **naive loop** -- one synchronous ``DefendedClassifier.predict``
+  call per request (the only way to get predictions before
+  :mod:`repro.serve` existed), and
+* the **micro-batching scheduler** at ``max_batch_size=32`` with the
+  prediction cache disabled, so the measured gain is purely batching plus
+  the compiled inference engine;
+* the scheduler again on a duplicate-heavy stream with the cache enabled,
+  showing the additional win on repetitive traffic.
+
+The scheduler must sustain at least 3x the naive throughput (the serving
+PR's acceptance criterion).  The measured numbers are written to
+``results/BENCH_serve.json`` as a report artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.core import DefenseConfig, DefendedClassifier
+from repro.serve import (
+    InferenceServer,
+    ModelRegistry,
+    generate_requests,
+    run_load,
+    run_naive_loop,
+    synthetic_image_pool,
+)
+
+NUM_REQUESTS = 192
+MAX_BATCH_SIZE = 32
+ARTIFACT = Path(__file__).resolve().parents[1] / "results" / "BENCH_serve.json"
+
+
+def _serving_setup():
+    """Registry + streams over an (untrained) baseline at paper scale (32x32).
+
+    Training does not change the cost of a forward pass, so the throughput
+    comparison uses fresh random weights and skips the training time.
+    """
+
+    classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0, image_size=32)
+    registry = ModelRegistry(None, image_size=32)
+    registry.add("baseline", classifier, persist=False)
+    pool = synthetic_image_pool(NUM_REQUESTS, image_size=32, seed=123)
+    unique_stream = generate_requests(pool, NUM_REQUESTS, duplicate_fraction=0.0)
+    repeat_stream = generate_requests(pool, NUM_REQUESTS, duplicate_fraction=0.5, seed=7)
+    # Warm both paths so neither pays one-time compilation/allocation cost
+    # inside the measured window.
+    classifier.predict(pool[:1])
+    registry.engine("baseline").predict(pool[:MAX_BATCH_SIZE])
+    return classifier, registry, unique_stream, repeat_stream
+
+
+def test_micro_batching_speedup(benchmark):
+    classifier, registry, unique_stream, repeat_stream = _serving_setup()
+
+    naive = run_naive_loop(classifier, unique_stream)
+
+    batched_server = InferenceServer(
+        registry, max_batch_size=MAX_BATCH_SIZE, cache_size=0, mode="sync"
+    )
+    batched = run_once(
+        benchmark, run_load, batched_server, unique_stream, label="micro_batched[sync]"
+    )
+
+    cached_server = InferenceServer(
+        registry, max_batch_size=MAX_BATCH_SIZE, cache_size=2 * NUM_REQUESTS, mode="sync"
+    )
+    cached = run_load(cached_server, repeat_stream, label="micro_batched[cached]")
+
+    speedup = batched.images_per_second / naive.images_per_second
+    rows = [report.as_dict() for report in (naive, batched, cached)]
+    for row in rows:
+        row["max_batch_size"] = MAX_BATCH_SIZE
+    artifact = {
+        "benchmark": "serve_throughput",
+        "num_requests": NUM_REQUESTS,
+        "speedup_batched_vs_naive": round(speedup, 2),
+        "rows": rows,
+    }
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2))
+
+    print(f"\nnaive: {naive.images_per_second:.0f} img/s")
+    print(f"micro-batched: {batched.images_per_second:.0f} img/s ({speedup:.2f}x)")
+    print(f"cached (50% dups): {cached.images_per_second:.0f} img/s")
+    print(f"artifact: {ARTIFACT}")
+
+    assert batched.mean_batch_size > 1
+    assert (
+        speedup >= 3.0
+    ), f"micro-batching sustained only {speedup:.2f}x the naive loop (need >= 3x)"
+
+
+def test_thread_scheduler_keeps_up(benchmark):
+    _classifier, registry, unique_stream, _repeat = _serving_setup()
+    server = InferenceServer(
+        registry, max_batch_size=MAX_BATCH_SIZE, max_wait_ms=2.0, cache_size=0, mode="thread"
+    )
+
+    def serve_stream():
+        with server:
+            return run_load(server, unique_stream, label="micro_batched[thread]")
+
+    report = run_once(benchmark, serve_stream)
+    # The background worker must actually coalesce batches and finish the
+    # stream promptly; its throughput stays within the same order of
+    # magnitude as the sync scheduler.
+    assert report.requests == NUM_REQUESTS
+    assert report.mean_batch_size > 1
+    assert report.images_per_second > 0

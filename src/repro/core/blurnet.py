@@ -133,39 +133,93 @@ class DefendedClassifier:
                 self.model, train_set, config=training_config, regularizer=self.regularizer
             )
 
-        if self.config.kind == DefenseKind.RANDOMIZED_SMOOTHING:
-            from ..defenses.randomized_smoothing import SmoothedClassifier
-
-            self.smoother = SmoothedClassifier(
-                self.model,
-                sigma=self.config.sigma,
-                num_samples=self.config.smoothing_samples,
-                seed=self.seed,
-            )
+        self.install_smoothing()
 
         self.last_training = _TrainingOutcome(
             final_train_accuracy=history.final_accuracy(), epochs=training_config.epochs
         )
         return self
 
+    def install_smoothing(self) -> None:
+        """(Re)install the randomized-smoothing voter when the config asks for one.
+
+        Called automatically by :meth:`fit`; model-loading code (e.g. the
+        serving :class:`~repro.serve.registry.ModelRegistry`) calls it after
+        restoring weights from disk so a deserialized smoothing variant
+        predicts through the Monte-Carlo vote exactly like a trained one.
+        """
+
+        if self.config.kind != DefenseKind.RANDOMIZED_SMOOTHING:
+            return
+        from ..defenses.randomized_smoothing import SmoothedClassifier
+
+        self.smoother = SmoothedClassifier(
+            self.model,
+            sigma=self.config.sigma,
+            num_samples=self.config.smoothing_samples,
+            seed=self.seed,
+        )
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def predict(self, images: np.ndarray) -> np.ndarray:
-        """Class predictions, applying the randomized-smoothing vote when configured."""
+    def predict(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Class predictions, applying the randomized-smoothing vote when configured.
+
+        Large inputs are processed in bounded-memory chunks: 128 images at
+        a time by default for the plain logits path (chunking is invisible
+        there -- results are exact), or ``batch_size`` when given.  For
+        randomized-smoothing variants an explicit ``batch_size`` bounds the
+        peak memory of the Monte-Carlo vote (which materializes
+        ``num_samples`` noisy copies of each chunk) but advances the
+        smoother's noise generator in a different order than the unchunked
+        call, so the default leaves the vote unchunked for reproducibility.
+        """
 
         if self.smoother is not None:
-            return self.smoother.predict(images)
+            if batch_size is None:
+                return self.smoother.predict(images)
+            return np.concatenate(
+                [
+                    self.smoother.predict(images[start : start + batch_size])
+                    for start in range(0, len(images), batch_size)
+                ],
+                axis=0,
+            )
         from ..models.training import predict_classes
 
-        return predict_classes(self.model, images)
+        return predict_classes(self.model, images, batch_size or 128)
 
-    def predict_logits(self, images: np.ndarray) -> np.ndarray:
-        """Raw logits of the underlying model (no smoothing)."""
+    def predict_proba(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Class probabilities, shape ``(N, num_classes)``.
+
+        For randomized-smoothing variants this is the Monte-Carlo vote
+        share; for every other variant it is the softmax of the logits.
+        Chunking follows the same rules as :meth:`predict`.
+        """
+
+        if self.smoother is not None:
+            if batch_size is None:
+                counts = self.smoother.class_counts(images)
+            else:
+                counts = np.concatenate(
+                    [
+                        self.smoother.class_counts(images[start : start + batch_size])
+                        for start in range(0, len(images), batch_size)
+                    ],
+                    axis=0,
+                )
+            return counts / float(self.smoother.num_samples)
+        from ..models.training import predict_proba
+
+        return predict_proba(self.model, images, batch_size or 128)
+
+    def predict_logits(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Raw logits of the underlying model (no smoothing), computed in chunks."""
 
         from ..models.training import predict_logits
 
-        return predict_logits(self.model, images)
+        return predict_logits(self.model, images, batch_size)
 
     def evaluate(self, dataset: SignDataset) -> float:
         """Accuracy of the defense on a labelled dataset."""

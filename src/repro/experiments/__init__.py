@@ -16,6 +16,7 @@ from .figures import (
 from .pgd_eval import PGDRow, run_pgd_evaluation, run_table4
 from .reporting import format_table, print_table, save_rows
 from .runner import run_all
+from .serving import ServingRow, run_serving_evaluation
 from .whitebox import WhiteboxRow, run_table2, run_whitebox_evaluation
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "AdaptiveRow",
     "PGDRow",
     "AdvTrainRow",
+    "ServingRow",
+    "run_serving_evaluation",
     "figure1_input_spectra",
     "figure2_feature_spectra",
     "figure3_dct_sweep",

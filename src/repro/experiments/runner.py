@@ -26,6 +26,7 @@ from .figures import (
 )
 from .pgd_eval import run_pgd_evaluation
 from .reporting import print_table, save_rows
+from .serving import run_serving_evaluation
 from .whitebox import run_whitebox_evaluation
 
 __all__ = ["run_all", "main", "PROFILES"]
@@ -117,6 +118,12 @@ def run_all(profile: Optional[ExperimentProfile] = None, output_dir: Optional[Pa
 
     record("figure5", "Figure 5 (ASR vs L2, conv/TV)", figure5_scatter(context))
     record("figure6", "Figure 6 (ASR vs L2, Tikhonov/Gaussian)", figure6_scatter(context))
+
+    record(
+        "serving",
+        "Serving throughput (naive loop vs micro-batching vs cache)",
+        [row.as_dict() for row in run_serving_evaluation(context)],
+    )
     return results
 
 

@@ -1,0 +1,116 @@
+"""Serving-throughput scenario: the defended classifiers as a workload.
+
+Beyond reproducing the paper's tables, the ROADMAP treats the defended
+classifiers as a system to be served at scale.  This scenario reuses the
+trained baseline of the shared :class:`~repro.experiments.context.ExperimentContext`
+and pushes the same synthetic traffic stream through three serving paths:
+
+* ``naive_loop`` -- one synchronous ``predict`` call per request (how the
+  experiment scripts produce predictions today);
+* ``micro_batched[sync]`` -- the :mod:`repro.serve` scheduler in
+  deterministic in-process mode, prediction cache disabled, isolating the
+  batching + compiled-engine speedup;
+* ``micro_batched[cached]`` -- the same scheduler with the LRU prediction
+  cache enabled on a duplicate-heavy stream, showing the additional win on
+  repetitive road-sign traffic.
+
+The rows double as a regression surface: the ``speedup_vs_naive`` column
+of the batched rows is what the serving benchmark asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..serve.registry import ModelRegistry
+from ..serve.server import InferenceServer
+from ..serve.traffic import ThroughputReport, generate_requests, run_load, run_naive_loop
+from .context import ExperimentContext
+
+__all__ = ["ServingRow", "run_serving_evaluation"]
+
+
+@dataclass
+class ServingRow:
+    """One serving scenario measurement."""
+
+    scenario: str
+    requests: int
+    images_per_second: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    cache_hit_rate: float
+    mean_batch_size: float
+    speedup_vs_naive: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "requests": self.requests,
+            "images_per_second": round(self.images_per_second, 1),
+            "mean_latency_ms": round(self.mean_latency_ms, 3),
+            "p95_latency_ms": round(self.p95_latency_ms, 3),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "speedup_vs_naive": round(self.speedup_vs_naive, 2),
+        }
+
+
+def _to_row(report: ThroughputReport, naive_ips: float) -> ServingRow:
+    return ServingRow(
+        scenario=report.label,
+        requests=report.requests,
+        images_per_second=report.images_per_second,
+        mean_latency_ms=report.mean_latency_ms,
+        p95_latency_ms=report.latency_percentile(95),
+        cache_hit_rate=report.cache_hit_rate,
+        mean_batch_size=report.mean_batch_size,
+        speedup_vs_naive=report.images_per_second / max(naive_ips, 1e-9),
+    )
+
+
+def run_serving_evaluation(
+    context: ExperimentContext,
+    num_requests: int = 192,
+    max_batch_size: int = 32,
+    duplicate_fraction: float = 0.5,
+) -> List[ServingRow]:
+    """Measure serving throughput of the trained baseline under three paths."""
+
+    classifier = context.get_baseline()
+    registry = ModelRegistry(
+        None, image_size=context.profile.image_size, seed=context.profile.seed
+    )
+    registry.add("baseline", classifier, persist=False)
+
+    # Unique-image stream isolates batching; duplicate-heavy stream adds the
+    # cache on top.  Both reuse the evaluation images so no new rendering
+    # cost is paid here.
+    pool = context.test_set.images
+    unique_stream = generate_requests(
+        pool, num_requests, duplicate_fraction=0.0, seed=context.profile.seed
+    )
+    repeat_stream = generate_requests(
+        pool,
+        num_requests,
+        duplicate_fraction=duplicate_fraction,
+        seed=context.profile.seed,
+    )
+
+    naive = run_naive_loop(classifier, unique_stream)
+
+    batched_server = InferenceServer(
+        registry, max_batch_size=max_batch_size, cache_size=0, mode="sync"
+    )
+    batched_server.warm("baseline")
+    batched = run_load(batched_server, unique_stream, label="micro_batched[sync]")
+
+    cached_server = InferenceServer(
+        registry, max_batch_size=max_batch_size, cache_size=4 * num_requests, mode="sync"
+    )
+    cached_server.warm("baseline")
+    cached = run_load(cached_server, repeat_stream, label="micro_batched[cached]")
+
+    naive_ips = naive.images_per_second
+    return [_to_row(naive, naive_ips), _to_row(batched, naive_ips), _to_row(cached, naive_ips)]

@@ -1,6 +1,13 @@
 """LISA-CNN classifier zoo, training loops and variant factory."""
 
-from .factory import build_table1_models, build_table2_models, build_variant, train_variant
+from .factory import (
+    build_table1_models,
+    build_table2_models,
+    build_variant,
+    resolve_variant,
+    train_variant,
+    variant_catalog,
+)
 from .lisa_cnn import FIRST_LAYER_CHANNELS, LisaCNNConfig, build_lisa_cnn
 from .training import (
     TrainingConfig,
@@ -8,6 +15,7 @@ from .training import (
     evaluate_accuracy,
     predict_classes,
     predict_logits,
+    predict_proba,
     train_classifier,
 )
 
@@ -21,8 +29,11 @@ __all__ = [
     "evaluate_accuracy",
     "predict_logits",
     "predict_classes",
+    "predict_proba",
     "build_variant",
     "train_variant",
     "build_table1_models",
     "build_table2_models",
+    "variant_catalog",
+    "resolve_variant",
 ]

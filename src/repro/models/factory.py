@@ -21,7 +21,38 @@ __all__ = [
     "train_variant",
     "build_table1_models",
     "build_table2_models",
+    "variant_catalog",
+    "resolve_variant",
 ]
+
+
+def variant_catalog(smoothing_samples: int = 100) -> Dict[str, DefenseConfig]:
+    """Every named defense variant the factory knows how to build.
+
+    The union of the Table I and Table II variant sets keyed by row name;
+    this is the lookup table behind :class:`repro.serve.ModelRegistry` and
+    :func:`resolve_variant`.  Table II rows shadow Table I rows of the same
+    name (they are identical configurations).
+    """
+
+    catalog: Dict[str, DefenseConfig] = {}
+    catalog.update(table1_variants())
+    catalog.update(table2_variants(include_baselines=True, smoothing_samples=smoothing_samples))
+    return catalog
+
+
+def resolve_variant(name: str, smoothing_samples: int = 100) -> DefenseConfig:
+    """Look up a defense configuration by its row name.
+
+    Raises ``KeyError`` listing the known names when ``name`` is unknown.
+    """
+
+    catalog = variant_catalog(smoothing_samples=smoothing_samples)
+    if name not in catalog:
+        raise KeyError(
+            f"unknown model variant {name!r}; known variants: {', '.join(sorted(catalog))}"
+        )
+    return catalog[name]
 
 
 def build_variant(config: DefenseConfig, seed: int = 0, image_size: int = 32) -> DefendedClassifier:

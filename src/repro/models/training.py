@@ -30,9 +30,17 @@ from ..nn.functional import cross_entropy
 from ..nn.layers import Sequential
 from ..nn.metrics import accuracy
 from ..nn.optim import Adam
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor
 
-__all__ = ["TrainingConfig", "TrainingHistory", "train_classifier", "evaluate_accuracy", "predict_logits", "predict_classes"]
+__all__ = [
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_classifier",
+    "evaluate_accuracy",
+    "predict_logits",
+    "predict_classes",
+    "predict_proba",
+]
 
 
 @dataclass
@@ -82,19 +90,23 @@ class TrainingHistory:
 def predict_logits(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
     """Run inference and return raw logits as a plain NumPy array."""
 
-    model.eval()
-    outputs: List[np.ndarray] = []
-    with no_grad():
-        for start in range(0, len(images), batch_size):
-            batch = Tensor(images[start : start + batch_size])
-            outputs.append(model(batch).data)
-    return np.concatenate(outputs, axis=0)
+    from ..nn.inference import batched_forward
+
+    return batched_forward(model, images, batch_size)
 
 
 def predict_classes(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
     """Arg-max class predictions for a batch of images."""
 
     return predict_logits(model, images, batch_size).argmax(axis=-1)
+
+
+def predict_proba(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Softmax class probabilities for a batch of images, computed in chunks."""
+
+    from ..nn.inference import softmax_probabilities
+
+    return softmax_probabilities(predict_logits(model, images, batch_size))
 
 
 def evaluate_accuracy(model: Sequential, dataset: SignDataset, batch_size: int = 128) -> float:

@@ -19,6 +19,13 @@ from .functional import (
     total_variation_2d,
     total_variation_image,
 )
+from .inference import (
+    InferenceEngine,
+    batched_forward,
+    batched_predict_proba,
+    compile_inference,
+    softmax_probabilities,
+)
 from .layers import (
     AvgPool2D,
     Conv2D,
@@ -69,6 +76,11 @@ __all__ = [
     "accuracy",
     "top_k_accuracy",
     "confusion_matrix",
+    "InferenceEngine",
+    "compile_inference",
+    "batched_forward",
+    "batched_predict_proba",
+    "softmax_probabilities",
     "state_dict",
     "load_state_dict",
     "save_weights",

@@ -1,0 +1,268 @@
+"""Batched ``no_grad`` inference helpers and the compiled inference engine.
+
+Training and attack code run the autodiff forward pass (float64 tensors, a
+graph node per operation).  Serving does not need gradients, so this module
+provides two progressively faster ways to run pure inference:
+
+* :func:`batched_forward` -- chunk a large input through the regular
+  :class:`~repro.nn.layers.Sequential` forward under ``no_grad`` with
+  bounded peak memory.  Exact same arithmetic as training-time inference.
+* :class:`InferenceEngine` -- a *compiled* forward pass: the layer sequence
+  is lowered once into a list of closures over float32 copies of the
+  weights, convolutions become a single BLAS matmul over sliding-window
+  views, and no autodiff graph is built.  This is the hot path of
+  :mod:`repro.serve` and is several times faster than the tensor forward at
+  equal batch size.
+
+The engine snapshots the model's parameters at compile time; call
+:meth:`InferenceEngine.refresh` after mutating weights (e.g. after loading
+a new state dict into the same model object).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "batched_forward",
+    "batched_predict_proba",
+    "softmax_probabilities",
+    "InferenceEngine",
+    "compile_inference",
+]
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis of a plain array."""
+
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=-1, keepdims=True)
+
+
+def batched_forward(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Exact ``no_grad`` forward of ``images`` through ``model`` in chunks.
+
+    Peak memory is bounded by ``batch_size`` regardless of ``len(images)``.
+    Returns the raw logits as a plain NumPy array.
+    """
+
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    model.eval()
+    outputs: List[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            chunk = Tensor(images[start : start + batch_size])
+            outputs.append(model(chunk).data)
+    return np.concatenate(outputs, axis=0)
+
+
+def batched_predict_proba(
+    model: Sequential, images: np.ndarray, batch_size: int = 128
+) -> np.ndarray:
+    """Softmax class probabilities of ``model`` on ``images``, chunked."""
+
+    return softmax_probabilities(batched_forward(model, images, batch_size))
+
+
+def _sliding_windows(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Return ``(N, C, out_h, out_w, K, K)`` sliding windows of an NCHW array."""
+
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    if stride != 1:
+        windows = windows[:, :, ::stride, ::stride]
+    return windows
+
+
+_Op = Callable[[np.ndarray], np.ndarray]
+
+
+class InferenceEngine:
+    """Compiled, gradient-free forward pass of a :class:`Sequential` model.
+
+    The constructor walks the layer list once and emits one closure per
+    layer over float32 snapshots of the parameters.  Supported layers are
+    everything :func:`repro.models.lisa_cnn.build_lisa_cnn` can produce
+    (convolutions, depthwise/blur filters, pooling, dense, dropout); any
+    unrecognized layer falls back to its exact tensor forward, so the
+    engine never changes semantics -- only speed and dtype (float32).
+
+    Parameters
+    ----------
+    model:
+        The model to compile.  It is put in ``eval`` mode.
+    dtype:
+        Computation dtype of the compiled path (float32 by default; use
+        ``np.float64`` for bit-faithful logits at reduced speed).
+    """
+
+    def __init__(self, model: Sequential, dtype: np.dtype = np.float32) -> None:
+        self.model = model
+        self.dtype = np.dtype(dtype)
+        self._ops: List[_Op] = []
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def refresh(self) -> "InferenceEngine":
+        """Re-snapshot the model's weights and rebuild the compiled ops."""
+
+        self.model.eval()
+        self._ops = []
+        for layer in self._flatten(self.model):
+            self._ops.append(self._compile_layer(layer))
+        return self
+
+    @staticmethod
+    def _flatten(model: Sequential) -> List[Layer]:
+        layers: List[Layer] = []
+        for layer in model.layers:
+            if isinstance(layer, Sequential):
+                layers.extend(InferenceEngine._flatten(layer))
+            else:
+                layers.append(layer)
+        return layers
+
+    def _compile_layer(self, layer: Layer) -> _Op:
+        dtype = self.dtype
+
+        if isinstance(layer, Conv2D):
+            kernel, stride, pad = layer.kernel_size, layer.stride, layer.padding
+            out_channels = layer.out_channels
+            # (C_in*K*K, C_out) so the contraction is one BLAS matmul.
+            weight = np.ascontiguousarray(
+                layer.weight.data.reshape(out_channels, -1).T, dtype=dtype
+            )
+            bias = layer.bias.data.astype(dtype)
+
+            def conv_op(x: np.ndarray) -> np.ndarray:
+                windows = _sliding_windows(x, kernel, stride, pad)
+                batch, _channels, out_h, out_w = windows.shape[:4]
+                # (N, OH, OW, C, K, K) row-major patches match the weight layout.
+                patches = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
+                flat = patches.reshape(batch * out_h * out_w, -1) @ weight + bias
+                return flat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+            return conv_op
+
+        # DepthwiseConv2D and the frozen blur layers (InputBlur /
+        # FeatureMapBlur) share the (C, K, K)-weight depthwise shape.
+        weight_tensor = getattr(layer, "weight", None)
+        if (
+            isinstance(layer, DepthwiseConv2D)
+            or (
+                weight_tensor is not None
+                and isinstance(weight_tensor, Tensor)
+                and weight_tensor.data.ndim == 3
+                and hasattr(layer, "padding")
+                and hasattr(layer, "kernel_size")
+            )
+        ):
+            kernel = layer.kernel_size
+            pad = layer.padding
+            depthwise_weight = weight_tensor.data.astype(dtype)
+
+            def depthwise_op(x: np.ndarray) -> np.ndarray:
+                windows = _sliding_windows(x, kernel, 1, pad)
+                return np.einsum(
+                    "nchwkl,ckl->nchw", windows, depthwise_weight, optimize=True
+                ).astype(dtype, copy=False)
+
+            return depthwise_op
+
+        if isinstance(layer, ReLU):
+            return lambda x: np.maximum(x, 0.0)
+
+        if isinstance(layer, (MaxPool2D, AvgPool2D)):
+            kernel, stride = layer.kernel_size, layer.stride
+            take_max = isinstance(layer, MaxPool2D)
+
+            def pool_op(x: np.ndarray) -> np.ndarray:
+                batch, channels, height, width = x.shape
+                if stride == kernel and height % kernel == 0 and width % kernel == 0:
+                    tiles = x.reshape(
+                        batch, channels, height // kernel, kernel, width // kernel, kernel
+                    )
+                    return tiles.max(axis=(3, 5)) if take_max else tiles.mean(axis=(3, 5))
+                windows = _sliding_windows(x, kernel, stride, 0)
+                return windows.max(axis=(4, 5)) if take_max else windows.mean(axis=(4, 5))
+
+            return pool_op
+
+        if isinstance(layer, Flatten):
+            return lambda x: x.reshape(x.shape[0], -1)
+
+        if isinstance(layer, Dropout):
+            return lambda x: x  # identity in eval mode
+
+        if isinstance(layer, Dense):
+            dense_weight = layer.weight.data.astype(dtype)
+            dense_bias = layer.bias.data.astype(dtype)
+            return lambda x: x @ dense_weight + dense_bias
+
+        # Unknown layer: exact tensor fallback (float64 round trip).
+        def fallback_op(x: np.ndarray) -> np.ndarray:
+            with no_grad():
+                return layer(Tensor(np.asarray(x, dtype=np.float64))).data.astype(dtype)
+
+        return fallback_op
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Run one compiled forward pass; returns logits for the whole batch."""
+
+        x = np.ascontiguousarray(images, dtype=self.dtype)
+        if x.ndim == 3:
+            x = x[None]
+        for op in self._ops:
+            x = op(x)
+        return x
+
+    def predict_logits(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Logits for ``images`` computed in chunks of ``batch_size``."""
+
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        outputs = [
+            self.forward(images[start : start + batch_size])
+            for start in range(0, len(images), batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    def predict_proba(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Softmax class probabilities, chunked."""
+
+        return softmax_probabilities(self.predict_logits(images, batch_size))
+
+    def predict(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Arg-max class predictions, chunked."""
+
+        return self.predict_logits(images, batch_size).argmax(axis=-1)
+
+
+def compile_inference(model: Sequential, dtype: np.dtype = np.float32) -> InferenceEngine:
+    """Compile ``model`` into an :class:`InferenceEngine` (convenience wrapper)."""
+
+    return InferenceEngine(model, dtype=dtype)

@@ -1,0 +1,56 @@
+"""Batched inference serving for BlurNet defended classifiers.
+
+This package turns the repo's defended classifiers into a servable
+workload:
+
+* :class:`~repro.serve.registry.ModelRegistry` -- trains-or-loads named
+  variants and persists their weights;
+* :class:`~repro.serve.batching.MicroBatcher` -- coalesces single-image
+  requests into dynamic micro-batches;
+* :class:`~repro.serve.cache.PredictionCache` -- content-addressed LRU
+  cache of probability vectors;
+* :class:`~repro.serve.server.InferenceServer` -- the front door wiring
+  the three together behind submit/predict calls;
+* :mod:`repro.serve.traffic` -- synthetic traffic generation and load
+  measurement;
+* ``python -m repro.serve`` -- the command-line front end.
+
+Quickstart::
+
+    from repro.serve import InferenceServer, ModelRegistry
+
+    registry = ModelRegistry("runs/serve_registry")
+    with InferenceServer(registry, max_batch_size=32) as server:
+        response = server.predict(image, model="baseline")
+        print(response.class_name, response.confidence)
+"""
+
+from .batching import MicroBatcher, QueuedRequest
+from .cache import PredictionCache, image_fingerprint
+from .registry import ModelRegistry
+from .server import InferenceServer
+from .traffic import (
+    ThroughputReport,
+    generate_requests,
+    run_load,
+    run_naive_loop,
+    synthetic_image_pool,
+)
+from .types import PredictRequest, PredictResponse, ServerStats
+
+__all__ = [
+    "ModelRegistry",
+    "InferenceServer",
+    "MicroBatcher",
+    "QueuedRequest",
+    "PredictionCache",
+    "image_fingerprint",
+    "PredictRequest",
+    "PredictResponse",
+    "ServerStats",
+    "ThroughputReport",
+    "generate_requests",
+    "synthetic_image_pool",
+    "run_load",
+    "run_naive_loop",
+]

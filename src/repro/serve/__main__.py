@@ -1,0 +1,227 @@
+"""``python -m repro.serve`` -- command-line front end of the serving layer.
+
+Serves a directory of images (``--images``, ``.npy``/``.npz`` files) or a
+synthetic traffic stream (``--synthetic N``, the default) against a named
+model variant, then prints a throughput report.  Models are resolved
+through a disk-backed :class:`~repro.serve.registry.ModelRegistry`: the
+first run of a variant trains it and persists the weights under
+``--registry-dir``; later runs load them.
+
+Examples
+--------
+List the variants the registry can serve::
+
+    python -m repro.serve --list-models
+
+Serve 512 synthetic requests (25% repeats) against the baseline::
+
+    python -m repro.serve --model baseline --synthetic 512 --duplicate-fraction 0.25
+
+Compare scheduler modes and batch sizes::
+
+    python -m repro.serve --mode sync --batch-size 64 --synthetic 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.lisa import make_dataset
+from ..experiments.reporting import format_table
+from ..models.factory import variant_catalog
+from ..models.training import TrainingConfig
+from .registry import ModelRegistry
+from .server import InferenceServer
+from .traffic import generate_requests, run_load, run_naive_loop, synthetic_image_pool
+
+__all__ = ["main"]
+
+
+def _load_image_directory(directory: Path, image_size: int) -> np.ndarray:
+    """Load every ``.npy``/``.npz`` image file in ``directory`` as a CHW stack."""
+
+    images: List[np.ndarray] = []
+    for path in sorted(directory.iterdir()):
+        if path.suffix == ".npy":
+            arrays = [np.load(path)]
+        elif path.suffix == ".npz":
+            archive = np.load(path)
+            arrays = [archive[key] for key in archive.files]
+        else:
+            continue
+        for array in arrays:
+            array = np.asarray(array, dtype=np.float64)
+            if array.ndim == 3 and array.shape[0] == 3:
+                images.append(array)
+            elif array.ndim == 4 and array.shape[1] == 3:
+                images.extend(array)
+    if not images:
+        raise SystemExit(
+            f"no (3, H, W) images found in {directory} (expected .npy/.npz files)"
+        )
+    for image in images:
+        if image.shape[-1] != image_size or image.shape[-2] != image_size:
+            raise SystemExit(
+                f"image of shape {image.shape} does not match --image-size {image_size}"
+            )
+    return np.stack(images)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Batched inference serving for BlurNet defended classifiers",
+    )
+    parser.add_argument("--model", default="baseline", help="registry variant to serve")
+    parser.add_argument(
+        "--registry-dir",
+        default="runs/serve_registry",
+        help="directory for persisted model weights (trained on first use)",
+    )
+    parser.add_argument(
+        "--list-models", action="store_true", help="list known variants and exit"
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--images", type=Path, default=None, help="directory of .npy/.npz images to serve"
+    )
+    source.add_argument(
+        "--synthetic",
+        type=int,
+        default=256,
+        help="number of synthetic requests to generate (default: 256)",
+    )
+    parser.add_argument(
+        "--duplicate-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of repeated images in the synthetic stream (default: 0.25)",
+    )
+    parser.add_argument("--batch-size", type=int, default=32, help="max micro-batch size")
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="scheduler wait for stragglers in thread mode (default: 2 ms)",
+    )
+    parser.add_argument(
+        "--mode", choices=("thread", "sync"), default="thread", help="scheduler mode"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=2048, help="prediction-cache entries (0 disables)"
+    )
+    parser.add_argument(
+        "--compare-naive",
+        action="store_true",
+        help="also run the naive per-request predict loop for comparison",
+    )
+    parser.add_argument("--image-size", type=int, default=32, help="model input size")
+    parser.add_argument("--seed", type=int, default=0, help="traffic and training seed")
+    parser.add_argument(
+        "--train-size",
+        type=int,
+        default=400,
+        help="synthetic training-set size when a variant must be trained",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=8, help="training epochs when a variant must be trained"
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write the report rows as JSON to this path"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+
+    if arguments.list_models:
+        for name in sorted(variant_catalog()):
+            print(name)
+        return 0
+
+    if not 0.0 <= arguments.duplicate_fraction <= 1.0:
+        raise SystemExit(
+            f"--duplicate-fraction must be in [0, 1], got {arguments.duplicate_fraction}"
+        )
+
+    registry = ModelRegistry(
+        arguments.registry_dir,
+        image_size=arguments.image_size,
+        seed=arguments.seed,
+        training_config=TrainingConfig(epochs=arguments.epochs, seed=arguments.seed),
+        dataset_factory=lambda: make_dataset(
+            arguments.train_size, image_size=arguments.image_size, seed=arguments.seed
+        ),
+    )
+
+    print(f"resolving model {arguments.model!r} (registry: {arguments.registry_dir}) ...")
+    try:
+        registry.get(arguments.model)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
+
+    if arguments.images is not None:
+        pool = _load_image_directory(arguments.images, arguments.image_size)
+        num_requests = len(pool)
+        duplicate_fraction = 0.0
+        print(f"serving {num_requests} images from {arguments.images}")
+    else:
+        pool_size = max(1, int(arguments.synthetic * (1.0 - arguments.duplicate_fraction)))
+        pool = synthetic_image_pool(
+            min(pool_size, arguments.synthetic),
+            image_size=arguments.image_size,
+            seed=arguments.seed + 1,
+        )
+        num_requests = arguments.synthetic
+        duplicate_fraction = arguments.duplicate_fraction
+        print(
+            f"serving {num_requests} synthetic requests "
+            f"({duplicate_fraction:.0%} duplicates, pool of {len(pool)})"
+        )
+
+    requests = generate_requests(
+        pool,
+        num_requests,
+        duplicate_fraction=duplicate_fraction,
+        model=arguments.model,
+        seed=arguments.seed,
+    )
+
+    reports = []
+    if arguments.compare_naive:
+        reports.append(run_naive_loop(registry.get(arguments.model), requests))
+
+    server = InferenceServer(
+        registry,
+        max_batch_size=arguments.batch_size,
+        max_wait_ms=arguments.max_wait_ms,
+        cache_size=arguments.cache_size,
+        mode=arguments.mode,
+    )
+    server.warm(arguments.model)
+    with server:
+        reports.append(run_load(server, requests, label=f"micro_batched[{arguments.mode}]"))
+
+    rows = [report.as_dict() for report in reports]
+    print()
+    print(format_table(rows))
+    if len(reports) == 2:
+        speedup = reports[1].images_per_second / max(reports[0].images_per_second, 1e-9)
+        print(f"\nmicro-batched speedup over naive loop: {speedup:.2f}x")
+
+    if arguments.json is not None:
+        arguments.json.parent.mkdir(parents=True, exist_ok=True)
+        arguments.json.write_text(json.dumps(rows, indent=2))
+        print(f"report written to {arguments.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Dynamic micro-batching: coalesce single-image requests into batches.
+
+The scheduler accepts individual :class:`~repro.serve.types.PredictRequest`
+submissions and groups them into micro-batches so the model runs one
+``no_grad`` forward per batch instead of one per request -- the batching
+amortization that makes the compiled inference engine pay off.
+
+Two execution modes are provided:
+
+* ``"thread"`` -- a background worker drains a queue: it blocks for the
+  first pending request, then keeps gathering until ``max_batch_size``
+  requests are in hand or ``max_wait`` seconds have passed, whichever
+  comes first.  This is the latency/throughput trade-off knob of every
+  production batcher.
+* ``"sync"`` -- no threads: submissions accumulate in-process and run when
+  ``max_batch_size`` is reached or :meth:`MicroBatcher.flush` is called.
+  Deterministic and convenient for tests, benchmarks and offline jobs.
+
+The batcher is model-agnostic: it resolves each batch through a
+``batch_runner(model_name, requests) -> responses`` callable supplied by
+the owner (the :class:`~repro.serve.server.InferenceServer`).  Requests for
+different models submitted concurrently are grouped per model before being
+run.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .types import PredictRequest, PredictResponse
+
+__all__ = ["QueuedRequest", "MicroBatcher"]
+
+_BatchRunner = Callable[[str, Sequence["QueuedRequest"]], List[PredictResponse]]
+
+
+@dataclass
+class QueuedRequest:
+    """A request in flight: the payload, its future and its submit time."""
+
+    request: PredictRequest
+    future: "Future[PredictResponse]" = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Request-coalescing scheduler in front of a batch runner.
+
+    Parameters
+    ----------
+    batch_runner:
+        Callable executing one micro-batch for one model; it must return
+        one :class:`PredictResponse` per queued request, in order.
+    max_batch_size:
+        Upper bound on requests folded into one forward pass.
+    max_wait:
+        Seconds the worker waits for stragglers after the first request of
+        a batch arrives (thread mode only).
+    mode:
+        ``"thread"`` or ``"sync"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        batch_runner: _BatchRunner,
+        max_batch_size: int = 32,
+        max_wait: float = 0.002,
+        mode: str = "thread",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if mode not in {"thread", "sync"}:
+            raise ValueError(f"unknown mode {mode!r}; expected 'thread' or 'sync'")
+        self.batch_runner = batch_runner
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.mode = mode
+        self._queue: "queue.Queue[Optional[QueuedRequest]]" = queue.Queue()
+        self._pending: List[QueuedRequest] = []  # sync mode accumulator
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        """Start the worker thread (no-op in sync mode or when running)."""
+
+        if self.mode != "thread" or self._running:
+            return self
+        self._running = True
+        self._worker = threading.Thread(target=self._worker_loop, name="micro-batcher", daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Flush outstanding work and stop the worker thread."""
+
+        if self.mode == "sync":
+            self.flush()
+            return
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            self._queue.put(None)  # wake the worker so it can exit
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> "Future[PredictResponse]":
+        """Enqueue one request; returns a future for its response."""
+
+        item = QueuedRequest(request)
+        if self.mode == "sync":
+            with self._lock:
+                self._pending.append(item)
+                ready = len(self._pending) >= self.max_batch_size
+            if ready:
+                self.flush()
+        else:
+            # The running-check and enqueue happen under the same lock that
+            # stop() takes to flip the flag and post the shutdown sentinel,
+            # so an item can never land behind the sentinel (where the
+            # exiting worker would miss it and its future would never
+            # resolve).
+            with self._lock:
+                if not self._running:
+                    raise RuntimeError("thread-mode batcher is not running; call start()")
+                self._queue.put(item)
+        return item.future
+
+    def flush(self) -> None:
+        """Run every pending request now (sync mode)."""
+
+        if self.mode != "sync":
+            return
+        with self._lock:
+            pending, self._pending = self._pending, []
+        # Chunk to max_batch_size so a large backlog still runs in
+        # bounded-size forwards.
+        for start in range(0, len(pending), self.max_batch_size):
+            self._run_batch(pending[start : start + self.max_batch_size])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if not self._running:
+                    return
+                continue
+            if first is None:
+                # Shutdown sentinel: drain whatever is left, then exit.
+                self._drain_remaining()
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.max_wait
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._run_batch(batch)
+                    self._drain_remaining()
+                    return
+                batch.append(item)
+            self._run_batch(batch)
+
+    def _drain_remaining(self) -> None:
+        leftovers: List[QueuedRequest] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        for start in range(0, len(leftovers), self.max_batch_size):
+            self._run_batch(leftovers[start : start + self.max_batch_size])
+
+    def _run_batch(self, batch: Sequence[QueuedRequest]) -> None:
+        if not batch:
+            return
+        # Group by model so one forward pass serves one set of weights.
+        groups: Dict[str, List[QueuedRequest]] = {}
+        for item in batch:
+            groups.setdefault(item.request.model, []).append(item)
+        for model_name, items in groups.items():
+            try:
+                responses = self.batch_runner(model_name, items)
+                for item, response in zip(items, responses):
+                    item.future.set_result(response)
+            except Exception as error:  # propagate to every waiter, keep serving
+                for item in items:
+                    if not item.future.done():
+                        item.future.set_exception(error)

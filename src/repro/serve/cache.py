@@ -1,0 +1,121 @@
+"""Content-addressed LRU prediction cache.
+
+Road-sign traffic is heavily skewed (the same stop-sign views recur), so a
+small cache in front of the batch scheduler answers repeated images without
+touching the model.  Entries are keyed by a content hash of the *(model
+name, image bytes)* pair -- two bit-identical images of the same variant
+share an entry regardless of who submitted them.
+
+The cache is thread-safe: the serving worker thread fills it while caller
+threads probe it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["image_fingerprint", "PredictionCache"]
+
+
+def image_fingerprint(model: str, image: np.ndarray) -> str:
+    """Stable content hash of one (model, image) pair.
+
+    The digest covers the model name, the array's shape/dtype and its raw
+    bytes, so images that differ in any pixel -- or the same pixels bound
+    for different variants -- never collide on purpose.
+    """
+
+    image = np.ascontiguousarray(image)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(model.encode("utf-8"))
+    digest.update(str(image.shape).encode("ascii"))
+    digest.update(str(image.dtype).encode("ascii"))
+    digest.update(image.tobytes())
+    return digest.hexdigest()
+
+
+class PredictionCache:
+    """Bounded LRU map from image fingerprints to probability vectors.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; the least-recently-used entry is evicted at overflow.
+        ``0`` disables the cache (every lookup misses, puts are dropped).
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache can hold any entries at all."""
+
+        return self.max_entries > 0
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """Return the cached probability vector for ``key`` or ``None``.
+
+        A hit moves the entry to the most-recently-used position.
+        """
+
+        with self._lock:
+            probabilities = self._entries.get(key)
+            if probabilities is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return probabilities
+
+    def put(self, key: str, probabilities: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry at capacity."""
+
+        if not self.enabled:
+            return
+        # Store a frozen private copy: callers may hold (and mutate) views
+        # of the batch output they handed us, and hit results are shared by
+        # reference with every future caller.
+        probabilities = np.array(probabilities, copy=True)
+        probabilities.flags.writeable = False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = probabilities
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PredictionCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

@@ -1,0 +1,214 @@
+"""Named model registry: train-or-load defended classifier variants.
+
+The registry resolves row names like ``"baseline"`` or
+``"feature_filter_3x3"`` to trained :class:`~repro.core.blurnet.DefendedClassifier`
+instances.  Resolution order:
+
+1. the in-memory cache (each variant is materialized at most once per
+   process);
+2. the registry directory on disk (``<root>/<name>/weights.npz`` plus a
+   ``meta.json`` provenance record), written by a previous process;
+3. training from scratch via :func:`repro.models.factory.train_variant` on
+   a dataset produced by the registry's ``dataset_factory``, after which
+   the weights are persisted for the next process.
+
+Alongside every classifier the registry keeps a compiled
+:class:`~repro.nn.inference.InferenceEngine`, which is what the batch
+scheduler actually runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..core.blurnet import DefendedClassifier
+from ..core.config import DefenseConfig
+from ..data.lisa import SignDataset, make_dataset
+from ..models.factory import resolve_variant, train_variant, variant_catalog
+from ..models.training import TrainingConfig
+from ..nn.inference import InferenceEngine
+from ..nn.serialization import load_weights, save_weights
+
+__all__ = ["ModelRegistry"]
+
+_WEIGHTS_FILE = "weights.npz"
+_META_FILE = "meta.json"
+
+
+class ModelRegistry:
+    """Train-or-load cache of named defended classifier variants.
+
+    Parameters
+    ----------
+    root:
+        Registry directory for persisted weights.  ``None`` keeps the
+        registry purely in-memory (nothing is written or read from disk).
+    image_size:
+        Input size models are built and trained for.
+    seed:
+        Seed used when a variant has to be trained from scratch.
+    training_config:
+        Hyper-parameters for from-scratch training; a small default is used
+        when omitted.
+    dataset_factory:
+        Zero-argument callable returning the :class:`SignDataset` used for
+        from-scratch training.  Defaults to a 400-image synthetic dataset
+        at ``image_size``.  The dataset is built lazily, at most once.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        *,
+        image_size: int = 32,
+        seed: int = 0,
+        training_config: Optional[TrainingConfig] = None,
+        dataset_factory: Optional[Callable[[], SignDataset]] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.image_size = image_size
+        self.seed = seed
+        self.training_config = (
+            training_config if training_config is not None else TrainingConfig(epochs=8, seed=seed)
+        )
+        self._dataset_factory = dataset_factory
+        self._train_set: Optional[SignDataset] = None
+        self._models: Dict[str, DefendedClassifier] = {}
+        self._engines: Dict[str, InferenceEngine] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    @staticmethod
+    def catalog() -> Dict[str, DefenseConfig]:
+        """Every variant name the registry can train on demand."""
+
+        return variant_catalog()
+
+    def loaded(self) -> List[str]:
+        """Names currently materialized in memory."""
+
+        return sorted(self._models)
+
+    def persisted(self) -> List[str]:
+        """Names with weights present in the registry directory."""
+
+        if self.root is None or not self.root.exists():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / _WEIGHTS_FILE).exists()
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models or name in self.persisted()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> DefendedClassifier:
+        """Return the trained classifier for ``name`` (memory -> disk -> train)."""
+
+        if name in self._models:
+            return self._models[name]
+        classifier = self._load(name)
+        if classifier is None:
+            classifier = self._train(name)
+            if self.root is not None:
+                self._persist(name, classifier)
+        self._models[name] = classifier
+        return classifier
+
+    def engine(self, name: str) -> InferenceEngine:
+        """Compiled inference engine for ``name`` (compiled once, cached)."""
+
+        if name not in self._engines:
+            self._engines[name] = InferenceEngine(self.get(name).model)
+        return self._engines[name]
+
+    def add(self, name: str, classifier: DefendedClassifier, persist: bool = True) -> None:
+        """Register an externally trained classifier under ``name``.
+
+        With ``persist=True`` (and a disk-backed registry) the weights are
+        also written to the registry directory.
+        """
+
+        self._models[name] = classifier
+        self._engines.pop(name, None)
+        if persist and self.root is not None:
+            self._persist(name, classifier)
+
+    # ------------------------------------------------------------------
+    # Disk round trip
+    # ------------------------------------------------------------------
+    def _variant_dir(self, name: str) -> Path:
+        if self.root is None:
+            raise RuntimeError("this registry has no root directory")
+        return self.root / name
+
+    def _persist(self, name: str, classifier: DefendedClassifier) -> None:
+        directory = self._variant_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_weights(classifier.model, directory / _WEIGHTS_FILE)
+        meta = {
+            "name": name,
+            "config": asdict(classifier.config),
+            "image_size": self.image_size,
+            "seed": classifier.seed,
+            "final_train_accuracy": (
+                classifier.last_training.final_train_accuracy
+                if classifier.last_training is not None
+                else None
+            ),
+        }
+        (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+
+    def _load(self, name: str) -> Optional[DefendedClassifier]:
+        if self.root is None:
+            return None
+        directory = self._variant_dir(name)
+        weights_path = directory / _WEIGHTS_FILE
+        if not weights_path.exists():
+            return None
+        meta_path = directory / _META_FILE
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            config = DefenseConfig(**meta["config"])
+            image_size = int(meta.get("image_size", self.image_size))
+            seed = int(meta.get("seed", self.seed))
+        else:
+            config = resolve_variant(name)
+            image_size, seed = self.image_size, self.seed
+        classifier = DefendedClassifier.build(config, seed=seed, image_size=image_size)
+        load_weights(classifier.model, weights_path, strict=True)
+        classifier.install_smoothing()
+        return classifier
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _training_set(self) -> SignDataset:
+        if self._train_set is None:
+            if self._dataset_factory is not None:
+                self._train_set = self._dataset_factory()
+            else:
+                self._train_set = make_dataset(
+                    400, image_size=self.image_size, seed=self.seed
+                )
+        return self._train_set
+
+    def _train(self, name: str) -> DefendedClassifier:
+        config = resolve_variant(name)
+        return train_variant(
+            config, self._training_set(), training_config=self.training_config, seed=self.seed
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelRegistry(root={str(self.root)!r}, loaded={self.loaded()}, "
+            f"persisted={self.persisted()})"
+        )

@@ -1,0 +1,217 @@
+"""The inference server: registry + prediction cache + micro-batcher.
+
+:class:`InferenceServer` is the front door of the serving subsystem.  A
+request flows through three stages:
+
+1. **Cache probe** -- the content hash of the (model, image) pair is looked
+   up in the LRU :class:`~repro.serve.cache.PredictionCache`; a hit is
+   answered immediately without touching the scheduler.
+2. **Micro-batching** -- misses are enqueued on the
+   :class:`~repro.serve.batching.MicroBatcher`, which coalesces them into
+   batches of up to ``max_batch_size`` images.
+3. **Batched forward** -- each batch runs through the compiled
+   :class:`~repro.nn.inference.InferenceEngine` of the requested variant
+   (one gradient-free float32 forward per batch); randomized-smoothing
+   variants fall back to the classifier's Monte-Carlo vote, which cannot
+   be expressed as a single forward.
+
+Results are written back to the cache, so repeated traffic gets cheaper
+over time.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.signs import SIGN_CLASSES
+from .batching import MicroBatcher, QueuedRequest
+from .cache import PredictionCache, image_fingerprint
+from .registry import ModelRegistry
+from .types import PredictRequest, PredictResponse, ServerStats
+
+__all__ = ["InferenceServer"]
+
+
+class InferenceServer:
+    """Batched, cached inference over a registry of defended classifiers.
+
+    Parameters
+    ----------
+    registry:
+        Source of named model variants (trained or loaded on first use).
+    max_batch_size:
+        Upper bound on images per batched forward pass.
+    max_wait_ms:
+        Milliseconds the thread-mode scheduler waits for stragglers after
+        the first request of a batch (ignored in sync mode).
+    cache_size:
+        LRU prediction-cache capacity; 0 disables caching.
+    mode:
+        ``"thread"`` for the background-worker scheduler, ``"sync"`` for
+        the deterministic in-process scheduler.
+    class_names:
+        Human-readable class labels; defaults to the 18 LISA sign classes.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 1024,
+        mode: str = "thread",
+        class_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.registry = registry
+        self.cache = PredictionCache(cache_size)
+        self.class_names = list(class_names) if class_names is not None else list(SIGN_CLASSES)
+        self.stats = ServerStats()
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait_ms / 1000.0,
+            mode=mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        """Start the scheduler (no-op in sync mode)."""
+
+        self.batcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Flush pending requests and stop the scheduler."""
+
+        self.batcher.stop()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def warm(self, model: str = "baseline") -> None:
+        """Materialize a variant (and its compiled engine) ahead of traffic.
+
+        Smoothing variants are served through their Monte-Carlo vote, not
+        the engine, so only the classifier itself is materialized for them.
+        """
+
+        classifier = self.registry.get(model)
+        if classifier.smoother is None:
+            self.registry.engine(model)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest):
+        """Submit one request; returns a ``Future[PredictResponse]``.
+
+        Cache hits resolve the future immediately; misses resolve when the
+        micro-batch containing the request completes.
+        """
+
+        self.stats.requests += 1
+        started = time.perf_counter()
+        if self.cache.enabled:
+            key = image_fingerprint(request.model, request.image)
+            probabilities = self.cache.get(key)
+            if probabilities is not None:
+                self.stats.cache_hits += 1
+                future: "Future[PredictResponse]" = Future()
+                future.set_result(
+                    self._build_response(
+                        request,
+                        probabilities,
+                        latency_ms=(time.perf_counter() - started) * 1000.0,
+                        cache_hit=True,
+                        batch_size=1,
+                    )
+                )
+                return future
+        return self.batcher.submit(request)
+
+    def predict(self, image: np.ndarray, model: str = "baseline") -> PredictResponse:
+        """Synchronous convenience: submit one image and wait for the answer."""
+
+        future = self.submit(PredictRequest(image=image, model=model))
+        if self.batcher.mode == "sync":
+            self.batcher.flush()
+        return future.result()
+
+    def predict_many(
+        self, images: np.ndarray, model: str = "baseline"
+    ) -> List[PredictResponse]:
+        """Submit a stack of images and wait for all responses (in order)."""
+
+        futures = [self.submit(PredictRequest(image=image, model=model)) for image in images]
+        if self.batcher.mode == "sync":
+            self.batcher.flush()
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Batch execution (called by the scheduler)
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self, model_name: str, items: Sequence[QueuedRequest]
+    ) -> List[PredictResponse]:
+        classifier = self.registry.get(model_name)
+        images = np.stack([item.request.image for item in items])
+        if classifier.smoother is not None:
+            # The Monte-Carlo vote is not a single forward pass; serve it
+            # through the classifier's own (chunked) probability path.
+            probabilities = classifier.predict_proba(images)
+        else:
+            engine = self.registry.engine(model_name)
+            probabilities = engine.predict_proba(images, batch_size=len(images))
+        now = time.perf_counter()
+        self.stats.record_batch(len(items))
+        responses: List[PredictResponse] = []
+        for item, probability_row in zip(items, probabilities):
+            response = self._build_response(
+                item.request,
+                probability_row,
+                latency_ms=(now - item.submitted_at) * 1000.0,
+                cache_hit=False,
+                batch_size=len(items),
+            )
+            responses.append(response)
+            if self.cache.enabled:
+                self.cache.put(
+                    image_fingerprint(item.request.model, item.request.image),
+                    probability_row,
+                )
+        return responses
+
+    def _build_response(
+        self,
+        request: PredictRequest,
+        probabilities: np.ndarray,
+        latency_ms: float,
+        cache_hit: bool,
+        batch_size: int,
+    ) -> PredictResponse:
+        class_index = int(np.argmax(probabilities))
+        class_name = (
+            self.class_names[class_index]
+            if 0 <= class_index < len(self.class_names)
+            else str(class_index)
+        )
+        return PredictResponse(
+            request_id=request.request_id,
+            model=request.model,
+            class_index=class_index,
+            class_name=class_name,
+            probabilities=np.asarray(probabilities),
+            latency_ms=latency_ms,
+            cache_hit=cache_hit,
+            batch_size=batch_size,
+        )

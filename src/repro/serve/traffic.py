@@ -1,0 +1,201 @@
+"""Synthetic traffic generation and load measurement for the serving layer.
+
+Real road-sign traffic is bursty and repetitive: the same signs are seen
+from the same dashcams over and over.  :func:`generate_requests` models
+that with a pool of distinct images plus a configurable
+``duplicate_fraction`` of exact repeats (which exercise the prediction
+cache), and :func:`run_load` pushes a request stream through an
+:class:`~repro.serve.server.InferenceServer` while measuring wall-clock
+throughput and per-request latency.
+
+The same generator backs the ``python -m repro.serve`` CLI and the
+serving-throughput experiment scenario
+(:mod:`repro.experiments.serving`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.lisa import make_dataset
+from .server import InferenceServer
+from .types import PredictRequest, PredictResponse
+
+__all__ = [
+    "synthetic_image_pool",
+    "generate_requests",
+    "ThroughputReport",
+    "run_load",
+    "run_naive_loop",
+]
+
+
+def synthetic_image_pool(
+    count: int, image_size: int = 32, seed: int = 0
+) -> np.ndarray:
+    """A pool of ``count`` distinct synthetic sign images, shape ``(count, 3, H, W)``."""
+
+    dataset = make_dataset(count, image_size=image_size, seed=seed)
+    return dataset.images
+
+
+def generate_requests(
+    pool: np.ndarray,
+    num_requests: int,
+    duplicate_fraction: float = 0.0,
+    model: str = "baseline",
+    seed: int = 0,
+) -> List[PredictRequest]:
+    """Build a request stream from an image pool.
+
+    Parameters
+    ----------
+    pool:
+        ``(P, 3, H, W)`` stack of candidate images.
+    num_requests:
+        Length of the stream.
+    duplicate_fraction:
+        Fraction of requests that repeat an image already requested earlier
+        in the stream (bit-identical, so they can hit the prediction
+        cache).  The remainder cycles through the pool.
+    model:
+        Model variant name stamped on every request.
+    seed:
+        Seed of the duplicate-placement randomness.
+    """
+
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    if len(pool) == 0:
+        raise ValueError("image pool is empty")
+    rng = np.random.default_rng(seed)
+    requests: List[PredictRequest] = []
+    used_indices: List[int] = []
+    for position in range(num_requests):
+        if used_indices and rng.random() < duplicate_fraction:
+            pool_index = used_indices[int(rng.integers(len(used_indices)))]
+        else:
+            pool_index = position % len(pool)
+            used_indices.append(pool_index)
+        requests.append(
+            PredictRequest(
+                image=pool[pool_index], model=model, request_id=f"req-{position:06d}"
+            )
+        )
+    return requests
+
+
+@dataclass
+class ThroughputReport:
+    """Result of one load run: throughput, latency distribution, serving stats."""
+
+    label: str
+    requests: int
+    wall_seconds: float
+    latencies_ms: np.ndarray
+    cache_hit_rate: float = 0.0
+    mean_batch_size: float = 1.0
+    batches: int = 0
+
+    @property
+    def images_per_second(self) -> float:
+        """Sustained request throughput over the whole run."""
+
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean per-request latency."""
+
+        return float(np.mean(self.latencies_ms)) if len(self.latencies_ms) else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile (e.g. 50, 95, 99) in milliseconds."""
+
+        return float(np.percentile(self.latencies_ms, percentile)) if len(self.latencies_ms) else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON/table-friendly row."""
+
+        return {
+            "scenario": self.label,
+            "requests": self.requests,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "images_per_second": round(self.images_per_second, 1),
+            "mean_latency_ms": round(self.mean_latency_ms, 3),
+            "p50_latency_ms": round(self.latency_percentile(50), 3),
+            "p95_latency_ms": round(self.latency_percentile(95), 3),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "batches": self.batches,
+        }
+
+
+def run_load(
+    server: InferenceServer,
+    requests: Sequence[PredictRequest],
+    label: str = "micro_batched",
+) -> ThroughputReport:
+    """Push a request stream through ``server`` and measure it.
+
+    All requests are submitted as fast as possible (the scheduler decides
+    the batching); the run ends when every future has resolved.
+    """
+
+    stats_requests_before = server.stats.requests
+    stats_hits_before = server.stats.cache_hits
+    batches_before = server.stats.batches
+    images_before = server.stats.batched_images
+
+    started = time.perf_counter()
+    futures = [server.submit(request) for request in requests]
+    if server.batcher.mode == "sync":
+        server.batcher.flush()
+    responses: List[PredictResponse] = [future.result() for future in futures]
+    wall = time.perf_counter() - started
+
+    window_requests = server.stats.requests - stats_requests_before
+    window_hits = server.stats.cache_hits - stats_hits_before
+    window_batches = server.stats.batches - batches_before
+    window_images = server.stats.batched_images - images_before
+    return ThroughputReport(
+        label=label,
+        requests=len(requests),
+        wall_seconds=wall,
+        latencies_ms=np.array([response.latency_ms for response in responses]),
+        cache_hit_rate=(window_hits / window_requests) if window_requests else 0.0,
+        mean_batch_size=(window_images / window_batches) if window_batches else 0.0,
+        batches=window_batches,
+    )
+
+
+def run_naive_loop(
+    classifier, requests: Sequence[PredictRequest], label: str = "naive_loop"
+) -> ThroughputReport:
+    """Reference path: one synchronous ``predict`` call per request.
+
+    This is how predictions are produced today by the experiment scripts --
+    no batching, no cache -- and is the baseline the micro-batching
+    speedup is measured against.
+    """
+
+    latencies: List[float] = []
+    started = time.perf_counter()
+    for request in requests:
+        request_start = time.perf_counter()
+        classifier.predict(request.image[None])
+        latencies.append((time.perf_counter() - request_start) * 1000.0)
+    wall = time.perf_counter() - started
+    return ThroughputReport(
+        label=label,
+        requests=len(requests),
+        wall_seconds=wall,
+        latencies_ms=np.array(latencies),
+        cache_hit_rate=0.0,
+        mean_batch_size=1.0,
+        batches=len(requests),
+    )

@@ -1,0 +1,138 @@
+"""Typed request/response layer of the serving subsystem.
+
+A :class:`PredictRequest` wraps one image destined for one named model; the
+server answers with a :class:`PredictResponse` carrying the decision, the
+full probability vector and the serving metadata (latency, whether the
+answer came from the prediction cache, and the size of the micro-batch the
+request rode in).  :class:`ServerStats` aggregates counters over the
+server's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["PredictRequest", "PredictResponse", "ServerStats"]
+
+
+@dataclass
+class PredictRequest:
+    """One inference request.
+
+    Attributes
+    ----------
+    image:
+        ``(3, H, W)`` float array in ``[0, 1]``.
+    model:
+        Registry name of the model variant to query.
+    request_id:
+        Caller-chosen identifier echoed back on the response.
+    """
+
+    image: np.ndarray
+    model: str = "baseline"
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.image = np.asarray(self.image)
+        if self.image.ndim != 3:
+            raise ValueError(
+                f"request image must be (C, H, W); got shape {self.image.shape}"
+            )
+
+
+@dataclass
+class PredictResponse:
+    """The server's answer to one :class:`PredictRequest`.
+
+    Attributes
+    ----------
+    request_id, model:
+        Echoed from the request.
+    class_index, class_name:
+        Arg-max decision and its human-readable sign-class label.
+    probabilities:
+        Full ``(num_classes,)`` probability vector.
+    latency_ms:
+        Wall-clock time from submission to completion.
+    cache_hit:
+        True when the answer was produced by the prediction cache without
+        running the model.
+    batch_size:
+        Size of the micro-batch this request was folded into (1 for cache
+        hits and the naive path).
+    """
+
+    request_id: Optional[str]
+    model: str
+    class_index: int
+    class_name: str
+    probabilities: np.ndarray
+    latency_ms: float
+    cache_hit: bool = False
+    batch_size: int = 1
+
+    @property
+    def confidence(self) -> float:
+        """Probability assigned to the predicted class."""
+
+        return float(self.probabilities[self.class_index])
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (probabilities as a plain list)."""
+
+        return {
+            "request_id": self.request_id,
+            "model": self.model,
+            "class_index": int(self.class_index),
+            "class_name": self.class_name,
+            "confidence": self.confidence,
+            "latency_ms": float(self.latency_ms),
+            "cache_hit": bool(self.cache_hit),
+            "batch_size": int(self.batch_size),
+        }
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters of an :class:`~repro.serve.server.InferenceServer`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_images: int = 0
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+
+    def record_batch(self, size: int) -> None:
+        """Record one executed micro-batch of ``size`` images."""
+
+        self.batches += 1
+        self.batched_images += size
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered from the cache."""
+
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of images per executed micro-batch."""
+
+        return self.batched_images / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary."""
+
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batches": self.batches,
+            "batched_images": self.batched_images,
+            "mean_batch_size": self.mean_batch_size,
+        }

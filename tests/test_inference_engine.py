@@ -1,0 +1,146 @@
+"""Tests for the compiled inference engine and batched no_grad helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DefenseConfig, DefendedClassifier
+from repro.nn import Tensor
+from repro.nn.inference import (
+    InferenceEngine,
+    batched_forward,
+    batched_predict_proba,
+    compile_inference,
+    softmax_probabilities,
+)
+from repro.nn.layers import Layer, Sequential
+
+
+ENGINE_VARIANTS = [
+    DefenseConfig.baseline(),
+    DefenseConfig.input_blur(3),
+    DefenseConfig.feature_blur(5),
+    DefenseConfig.depthwise_linf(3, alpha=1e-3),
+]
+
+
+@pytest.fixture(scope="module")
+def images() -> np.ndarray:
+    return np.random.default_rng(42).random((9, 3, 32, 32))
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("config", ENGINE_VARIANTS, ids=lambda c: c.name)
+    def test_matches_tensor_forward(self, config, images):
+        classifier = DefendedClassifier.build(config, seed=0)
+        reference = classifier.predict_logits(images)
+        engine = InferenceEngine(classifier.model)
+        logits = engine.predict_logits(images)
+        assert logits.shape == reference.shape
+        np.testing.assert_allclose(logits, reference, atol=1e-4)
+        assert (logits.argmax(axis=-1) == reference.argmax(axis=-1)).all()
+
+    def test_float64_engine_is_exact(self, images):
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        engine = InferenceEngine(classifier.model, dtype=np.float64)
+        np.testing.assert_allclose(
+            engine.predict_logits(images), classifier.predict_logits(images), atol=1e-10
+        )
+
+    def test_chunking_is_invisible(self, images):
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        engine = compile_inference(classifier.model)
+        full = engine.predict_logits(images, batch_size=len(images))
+        chunked = engine.predict_logits(images, batch_size=2)
+        np.testing.assert_allclose(full, chunked, atol=1e-5)
+
+    def test_single_image_gets_batch_axis(self, images):
+        engine = InferenceEngine(DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model)
+        assert engine.forward(images[0]).shape[0] == 1
+
+    def test_probabilities_normalized(self, images):
+        engine = InferenceEngine(DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model)
+        probabilities = engine.predict_proba(images)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, atol=1e-5)
+        assert (probabilities >= 0).all()
+
+    def test_refresh_picks_up_new_weights(self, images):
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        engine = InferenceEngine(classifier.model)
+        before = engine.predict_logits(images)
+        dense = classifier.model.layers[-1]
+        dense.bias.data = dense.bias.data + 5.0
+        # Snapshot semantics: stale until refreshed.
+        np.testing.assert_allclose(engine.predict_logits(images), before, atol=1e-5)
+        engine.refresh()
+        np.testing.assert_allclose(
+            engine.predict_logits(images), before + 5.0, atol=1e-4
+        )
+
+    def test_unknown_layer_falls_back_to_tensor_forward(self, images):
+        class Doubler(Layer):
+            def forward(self, inputs: Tensor) -> Tensor:
+                return inputs * 2.0
+
+        base = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        model = Sequential([Doubler()] + list(base.layers))
+        engine = InferenceEngine(model)
+        with_tensor = batched_forward(model, images)
+        np.testing.assert_allclose(engine.predict_logits(images), with_tensor, atol=1e-3)
+
+
+class TestBatchedHelpers:
+    def test_batched_forward_matches_model(self, images):
+        model = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        from repro.models.training import predict_logits
+
+        np.testing.assert_allclose(
+            batched_forward(model, images, batch_size=3), predict_logits(model, images)
+        )
+
+    def test_batched_forward_rejects_bad_batch_size(self, images):
+        model = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        with pytest.raises(ValueError):
+            batched_forward(model, images, batch_size=0)
+
+    def test_batched_predict_proba_normalized(self, images):
+        model = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        probabilities = batched_predict_proba(model, images, batch_size=4)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0)
+
+    def test_softmax_probabilities_stable(self):
+        logits = np.array([[1000.0, 1000.0], [-1000.0, 0.0]])
+        probabilities = softmax_probabilities(logits)
+        np.testing.assert_allclose(probabilities[0], [0.5, 0.5])
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0)
+
+
+class TestDefendedClassifierProba:
+    def test_predict_proba_matches_logits_softmax(self, images):
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        probabilities = classifier.predict_proba(images, batch_size=4)
+        expected = softmax_probabilities(classifier.predict_logits(images))
+        np.testing.assert_allclose(probabilities, expected)
+
+    def test_predict_chunked_matches_unchunked(self, images):
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        np.testing.assert_array_equal(
+            classifier.predict(images, batch_size=2), classifier.predict(images)
+        )
+
+    def test_smoothing_predict_proba_is_vote_share(self, tiny_split, tiny_training_config):
+        train_set, test_set = tiny_split
+        classifier = DefendedClassifier.build(
+            DefenseConfig.randomized_smoothing(0.1, samples=5), seed=0, image_size=16
+        )
+        classifier.fit(train_set, tiny_training_config)
+        classifier.install_smoothing()  # reset the vote RNG for determinism
+        probabilities = classifier.predict_proba(test_set.images[:6], batch_size=2)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0)
+        # Vote shares are multiples of 1/num_samples.
+        np.testing.assert_allclose(probabilities * 5, np.round(probabilities * 5), atol=1e-9)
+        classifier.install_smoothing()  # same RNG stream for the second pass
+        np.testing.assert_array_equal(
+            probabilities.argmax(axis=-1), classifier.predict(test_set.images[:6], batch_size=2)
+        )
