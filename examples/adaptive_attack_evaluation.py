@@ -7,7 +7,9 @@ adds the defense's own regularizer to the attacker objective (Eqs. (9) and
 Tik_hf loses much of its apparent robustness under the adaptive attack while
 TV barely degrades.
 
-Run with ``python examples/adaptive_attack_evaluation.py``.
+Run with ``PYTHONPATH=src python examples/adaptive_attack_evaluation.py`` (or install the
+package first via ``pip install -e .`` / ``python setup.py develop``
+and drop the ``PYTHONPATH`` prefix).
 """
 
 from __future__ import annotations

@@ -5,7 +5,9 @@ generated against the vanilla classifier (the only model the adversary can
 see) and transferred, unchanged, to the same network wrapped with frozen
 blur layers at the input or on the first-layer feature maps.
 
-Run with ``python examples/blackbox_transfer.py``.
+Run with ``PYTHONPATH=src python examples/blackbox_transfer.py`` (or install the
+package first via ``pip install -e .`` / ``python setup.py develop``
+and drop the ``PYTHONPATH`` prefix).
 """
 
 from __future__ import annotations

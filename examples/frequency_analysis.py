@@ -10,7 +10,9 @@ Reproduces the motivating analysis of the paper:
 * second-layer feature maps are broadband, so only the first layer should
   be filtered (Figure 4).
 
-Run with ``python examples/frequency_analysis.py``.
+Run with ``PYTHONPATH=src python examples/frequency_analysis.py`` (or install the
+package first via ``pip install -e .`` / ``python setup.py develop``
+and drop the ``PYTHONPATH`` prefix).
 """
 
 from __future__ import annotations

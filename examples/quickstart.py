@@ -9,7 +9,9 @@ time:
 3. run the RP2 sticker attack against both, white-box;
 4. report legitimate accuracy, attack success rate and L2 dissimilarity.
 
-Run with ``python examples/quickstart.py``.
+Run with ``PYTHONPATH=src python examples/quickstart.py`` (or install the
+package first via ``pip install -e .`` / ``python setup.py develop``
+and drop the ``PYTHONPATH`` prefix).
 """
 
 from __future__ import annotations

@@ -1,0 +1,68 @@
+"""Socket-serving round trip: sharded server, async front-end, client.
+
+Starts an in-process sharded fleet (two defense variants, two replicas
+each), puts the asyncio socket front-end in front of it, then talks to it
+the way an external client would: ping, model discovery, JSON and binary
+predict frames, and a stats probe. Everything runs in one process so the
+example needs no free port coordination -- point :class:`SocketClient` at
+any host/port to use it against ``python -m repro.serve --port``.
+
+Run with ``PYTHONPATH=src python examples/serve_client.py`` (or install the
+package first via ``pip install -e .`` / ``python setup.py develop``
+and drop the ``PYTHONPATH`` prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.factory import build_variant, resolve_variant
+from repro.serve import ModelRegistry, ShardedServer, SocketClient, SocketFrontend
+
+IMAGE_SIZE = 32
+MODELS = ["baseline", "feature_filter_3x3"]
+
+
+def main() -> None:
+    """Serve two variants over a socket and query them as a client."""
+
+    # Untrained weights keep the example instant; swap in a disk-backed
+    # registry ("runs/serve_registry") to serve trained variants.
+    registry = ModelRegistry(None, image_size=IMAGE_SIZE)
+    for name in MODELS:
+        registry.add(
+            name,
+            build_variant(resolve_variant(name), seed=0, image_size=IMAGE_SIZE),
+            persist=False,
+        )
+
+    server = ShardedServer(registry, MODELS, replicas=2, routing="least_loaded")
+    with server, SocketFrontend(server, port=0) as frontend:
+        print(f"front-end listening on 127.0.0.1:{frontend.port}")
+        with SocketClient("127.0.0.1", frontend.port) as client:
+            print("ping:", client.ping())
+            print("models:", client.models())
+
+            rng = np.random.default_rng(0)
+            image = rng.random((3, IMAGE_SIZE, IMAGE_SIZE))
+
+            reply = client.predict(image, model="baseline", request_id="demo-1", binary=True)
+            print(
+                f"binary frame -> {reply['class_name']} "
+                f"(confidence {reply['confidence']:.3f}, shard {reply['shard_id']})"
+            )
+
+            reply = client.predict(image, model="feature_filter_3x3", binary=False)
+            print(
+                f"json frame   -> {reply['class_name']} "
+                f"(confidence {reply['confidence']:.3f}, shard {reply['shard_id']})"
+            )
+
+            repeat = client.predict(image, model="baseline", binary=True)
+            print(f"repeat image -> cache_hit={repeat['cache_hit']}")
+
+            print("stats:", client.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,7 @@ from .figures import (
 )
 from .pgd_eval import run_pgd_evaluation
 from .reporting import print_table, save_rows
-from .serving import run_serving_evaluation
+from .serving import run_serving_evaluation, run_sharded_serving_evaluation
 from .whitebox import run_whitebox_evaluation
 
 __all__ = ["run_all", "main", "PROFILES"]
@@ -123,6 +123,11 @@ def run_all(profile: Optional[ExperimentProfile] = None, output_dir: Optional[Pa
         "serving",
         "Serving throughput (naive loop vs micro-batching vs cache)",
         [row.as_dict() for row in run_serving_evaluation(context)],
+    )
+    record(
+        "serving_sharded",
+        "Sharded serving (single shared queue vs per-variant shards, mixed traffic)",
+        run_sharded_serving_evaluation(context),
     )
     return results
 

@@ -16,19 +16,34 @@ and pushes the same synthetic traffic stream through three serving paths:
 
 The rows double as a regression surface: the ``speedup_vs_naive`` column
 of the batched rows is what the serving benchmark asserts on.
+
+:func:`run_sharded_serving_evaluation` is the PR 2 follow-up scenario:
+the same traffic machinery, but the stream now interleaves several defense
+variants and the single-queue server is raced against the
+:class:`~repro.serve.shard.ShardedServer` (per-variant schedulers and
+caches).  Its ``speedup_vs_single_queue`` column is what
+``benchmarks/test_serve_sharded.py`` asserts on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
+from ..models.factory import build_variant, resolve_variant
 from ..serve.registry import ModelRegistry
-from ..serve.server import InferenceServer
-from ..serve.traffic import ThroughputReport, generate_requests, run_load, run_naive_loop
+from ..serve.server import BatchedServer, InferenceServer
+from ..serve.shard import ShardedServer
+from ..serve.traffic import (
+    ThroughputReport,
+    generate_mixed_requests,
+    generate_requests,
+    run_load,
+    run_naive_loop,
+)
 from .context import ExperimentContext
 
-__all__ = ["ServingRow", "run_serving_evaluation"]
+__all__ = ["ServingRow", "run_serving_evaluation", "run_sharded_serving_evaluation"]
 
 
 @dataclass
@@ -114,3 +129,80 @@ def run_serving_evaluation(
 
     naive_ips = naive.images_per_second
     return [_to_row(naive, naive_ips), _to_row(batched, naive_ips), _to_row(cached, naive_ips)]
+
+
+def run_sharded_serving_evaluation(
+    context: ExperimentContext,
+    models: Sequence[str] = ("baseline", "input_filter_3x3", "feature_filter_3x3"),
+    passes: int = 3,
+    max_batch_size: int = 32,
+) -> List[Dict[str, object]]:
+    """Race the single-queue server against per-variant shards on mixed traffic.
+
+    The stream interleaves ``models`` round-robin and cycles each variant's
+    image pool ``passes`` times, so repeats are bit-identical
+    (cache-hittable).  Both servers run the deterministic sync scheduler
+    with the same *per-queue* cache capacity, sized to hold one variant's
+    working set: the single-queue server shares that one capacity across
+    all variants (the PR 1 design) and thrashes under the cyclic
+    multi-variant stream, while the sharded server gives each variant its
+    own scheduler and cache.  The measured gap is therefore batch
+    fragmentation plus cache competition -- the two penalties sharding
+    removes.
+
+    The baseline variant reuses the context's trained classifier; the
+    other variants are served with untrained weights, which leaves the
+    per-forward cost (the quantity under test) unchanged.
+
+    Returns JSON-friendly rows; the sharded row carries
+    ``speedup_vs_single_queue``.
+    """
+
+    registry = ModelRegistry(
+        None, image_size=context.profile.image_size, seed=context.profile.seed
+    )
+    registry.add("baseline", context.get_baseline(), persist=False)
+    for name in models:
+        if name not in registry.loaded():
+            registry.add(
+                name,
+                build_variant(
+                    resolve_variant(name),
+                    seed=context.profile.seed,
+                    image_size=context.profile.image_size,
+                ),
+                persist=False,
+            )
+
+    pool = context.test_set.images
+    cache_size = len(pool) + max_batch_size  # one variant's working set per queue
+    num_requests = len(models) * len(pool) * passes
+    stream = generate_mixed_requests(
+        pool, num_requests, list(models), duplicate_fraction=0.0, seed=context.profile.seed
+    )
+
+    single = BatchedServer(
+        registry, max_batch_size=max_batch_size, cache_size=cache_size, mode="sync"
+    )
+    single_report = run_load(single, stream, label="single_queue[sync]")
+
+    sharded = ShardedServer(
+        registry,
+        list(models),
+        replicas=1,
+        max_batch_size=max_batch_size,
+        cache_size=cache_size,
+        mode="sync",
+    )
+    sharded_report = run_load(sharded, stream, label="sharded[sync]")
+
+    single_ips = single_report.images_per_second
+    rows = []
+    for report in (single_report, sharded_report):
+        row = report.as_dict()
+        row["models"] = len(models)
+        row["speedup_vs_single_queue"] = round(
+            report.images_per_second / max(single_ips, 1e-9), 2
+        )
+        rows.append(row)
+    return rows

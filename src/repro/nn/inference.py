@@ -17,6 +17,11 @@ provides two progressively faster ways to run pure inference:
 The engine snapshots the model's parameters at compile time; call
 :meth:`InferenceEngine.refresh` after mutating weights (e.g. after loading
 a new state dict into the same model object).
+
+Thread-safety: a compiled engine holds no mutable per-call state, so
+:meth:`InferenceEngine.forward`/``predict*`` may run concurrently from
+several threads (the serving shards rely on this); :meth:`refresh` is the
+only mutating operation and must not race in-flight forwards.
 """
 
 from __future__ import annotations
@@ -105,6 +110,10 @@ class InferenceEngine:
     (convolutions, depthwise/blur filters, pooling, dense, dropout); any
     unrecognized layer falls back to its exact tensor forward, so the
     engine never changes semantics -- only speed and dtype (float32).
+
+    Execution is thread-safe (the compiled ops are pure functions over
+    frozen weight snapshots); :meth:`refresh` is not and must be called
+    while no forwards are in flight.
 
     Parameters
     ----------

@@ -9,38 +9,72 @@ workload:
   requests into dynamic micro-batches;
 * :class:`~repro.serve.cache.PredictionCache` -- content-addressed LRU
   cache of probability vectors;
-* :class:`~repro.serve.server.InferenceServer` -- the front door wiring
-  the three together behind submit/predict calls;
-* :mod:`repro.serve.traffic` -- synthetic traffic generation and load
-  measurement;
+* :class:`~repro.serve.server.BatchedServer` -- the single-queue server
+  wiring the three together behind submit/predict calls (alias
+  ``InferenceServer``);
+* :class:`~repro.serve.shard.ShardedServer` -- multi-model sharding:
+  per-variant worker shards (each a pinned :class:`BatchedServer` with its
+  own scheduler and cache), replicas, and pluggable round-robin /
+  least-loaded routing;
+* :class:`~repro.serve.frontend.SocketFrontend` -- non-blocking asyncio
+  socket front-end speaking length-prefixed JSON / ``.npy`` frames, with
+  :class:`~repro.serve.frontend.SocketClient` as the matching client;
+* :mod:`repro.serve.traffic` -- synthetic single- and multi-model traffic
+  generation and load measurement;
 * ``python -m repro.serve`` -- the command-line front end.
 
 Quickstart::
 
-    from repro.serve import InferenceServer, ModelRegistry
+    from repro.serve import ModelRegistry, ShardedServer, SocketFrontend
 
     registry = ModelRegistry("runs/serve_registry")
-    with InferenceServer(registry, max_batch_size=32) as server:
+    models = ["baseline", "feature_filter_3x3", "input_filter_3x3"]
+    with ShardedServer(registry, models, replicas=2) as server:
         response = server.predict(image, model="baseline")
-        print(response.class_name, response.confidence)
+        print(response.class_name, response.confidence, response.shard_id)
+
+See ``docs/serving.md`` for the request lifecycle and ``docs/architecture.md``
+for how the pieces fit the rest of the repo.
 """
 
 from .batching import MicroBatcher, QueuedRequest
 from .cache import PredictionCache, image_fingerprint
+from .frontend import SocketClient, SocketFrontend
 from .registry import ModelRegistry
-from .server import InferenceServer
+from .server import BatchedServer, InferenceServer
+from .shard import (
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    ShardedServer,
+    ShardReplica,
+)
 from .traffic import (
     ThroughputReport,
+    generate_mixed_requests,
     generate_requests,
     run_load,
     run_naive_loop,
     synthetic_image_pool,
 )
-from .types import PredictRequest, PredictResponse, ServerStats
+from .types import (
+    PredictRequest,
+    PredictResponse,
+    ServerStats,
+    UnknownModelError,
+)
 
 __all__ = [
     "ModelRegistry",
+    "BatchedServer",
     "InferenceServer",
+    "ShardedServer",
+    "ShardReplica",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "SocketFrontend",
+    "SocketClient",
     "MicroBatcher",
     "QueuedRequest",
     "PredictionCache",
@@ -48,8 +82,10 @@ __all__ = [
     "PredictRequest",
     "PredictResponse",
     "ServerStats",
+    "UnknownModelError",
     "ThroughputReport",
     "generate_requests",
+    "generate_mixed_requests",
     "synthetic_image_pool",
     "run_load",
     "run_naive_loop",

@@ -1,11 +1,13 @@
 """``python -m repro.serve`` -- command-line front end of the serving layer.
 
 Serves a directory of images (``--images``, ``.npy``/``.npz`` files) or a
-synthetic traffic stream (``--synthetic N``, the default) against a named
-model variant, then prints a throughput report.  Models are resolved
-through a disk-backed :class:`~repro.serve.registry.ModelRegistry`: the
-first run of a variant trains it and persists the weights under
-``--registry-dir``; later runs load them.
+synthetic traffic stream (``--synthetic N``, the default) against one model
+variant (``--model``) or a sharded fleet of variants (``--shards``), then
+prints a throughput report -- or, with ``--port``, stays up as a socket
+server.  Models are resolved through a disk-backed
+:class:`~repro.serve.registry.ModelRegistry`: the first run of a variant
+trains it and persists the weights under ``--registry-dir``; later runs
+load them.
 
 Examples
 --------
@@ -17,9 +19,16 @@ Serve 512 synthetic requests (25% repeats) against the baseline::
 
     python -m repro.serve --model baseline --synthetic 512 --duplicate-fraction 0.25
 
-Compare scheduler modes and batch sizes::
+Shard three variants (two replicas each, least-loaded routing) and compare
+against the single-queue server on the same mixed stream::
 
-    python -m repro.serve --mode sync --batch-size 64 --synthetic 1024
+    python -m repro.serve --shards baseline,feature_filter_3x3,input_filter_3x3 \\
+        --replicas 2 --routing least_loaded --synthetic 1024 --compare-single-queue
+
+Run the socket front-end until interrupted (clients use
+:class:`repro.serve.SocketClient`)::
+
+    python -m repro.serve --shards baseline,feature_filter_3x3 --port 7860
 """
 
 from __future__ import annotations
@@ -36,9 +45,17 @@ from ..data.lisa import make_dataset
 from ..experiments.reporting import format_table
 from ..models.factory import variant_catalog
 from ..models.training import TrainingConfig
+from .frontend import SocketFrontend
 from .registry import ModelRegistry
-from .server import InferenceServer
-from .traffic import generate_requests, run_load, run_naive_loop, synthetic_image_pool
+from .server import BatchedServer
+from .shard import ShardedServer
+from .traffic import (
+    generate_mixed_requests,
+    generate_requests,
+    run_load,
+    run_naive_loop,
+    synthetic_image_pool,
+)
 
 __all__ = ["main"]
 
@@ -74,11 +91,40 @@ def _load_image_directory(directory: Path, image_size: int) -> np.ndarray:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The argument parser behind ``python -m repro.serve``."""
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
-        description="Batched inference serving for BlurNet defended classifiers",
+        description="Batched (and sharded) inference serving for BlurNet defended classifiers",
     )
     parser.add_argument("--model", default="baseline", help="registry variant to serve")
+    parser.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated variant names; enables the sharded multi-model server",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker replicas per sharded variant (default: 1)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=("round_robin", "least_loaded"),
+        default="round_robin",
+        help="replica routing policy in sharded mode",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="run the socket front-end on this port until interrupted "
+        "(instead of a one-shot load run); 0 picks a free port",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --port (default: 127.0.0.1)"
+    )
     parser.add_argument(
         "--registry-dir",
         default="runs/serve_registry",
@@ -114,12 +160,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("thread", "sync"), default="thread", help="scheduler mode"
     )
     parser.add_argument(
-        "--cache-size", type=int, default=2048, help="prediction-cache entries (0 disables)"
+        "--cache-size",
+        type=int,
+        default=2048,
+        help="prediction-cache entries per queue/replica (0 disables)",
     )
     parser.add_argument(
         "--compare-naive",
         action="store_true",
-        help="also run the naive per-request predict loop for comparison",
+        help="also run the naive per-request predict loop for comparison (single-model mode)",
+    )
+    parser.add_argument(
+        "--compare-single-queue",
+        action="store_true",
+        help="in sharded mode, also run the PR 1 single-queue server on the same stream",
     )
     parser.add_argument("--image-size", type=int, default=32, help="model input size")
     parser.add_argument("--seed", type=int, default=0, help="traffic and training seed")
@@ -138,7 +192,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_server(arguments: argparse.Namespace, registry: ModelRegistry, models: List[str]):
+    """Construct the single-queue or sharded server the flags describe."""
+
+    if arguments.shards is not None:
+        return ShardedServer(
+            registry,
+            models,
+            replicas=arguments.replicas,
+            routing=arguments.routing,
+            max_batch_size=arguments.batch_size,
+            max_wait_ms=arguments.max_wait_ms,
+            cache_size=arguments.cache_size,
+            mode=arguments.mode,
+        )
+    return BatchedServer(
+        registry,
+        max_batch_size=arguments.batch_size,
+        max_wait_ms=arguments.max_wait_ms,
+        cache_size=arguments.cache_size,
+        mode=arguments.mode,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point; returns the process exit code."""
+
     arguments = build_parser().parse_args(argv)
 
     if arguments.list_models:
@@ -150,6 +229,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(
             f"--duplicate-fraction must be in [0, 1], got {arguments.duplicate_fraction}"
         )
+    if arguments.replicas < 1:
+        raise SystemExit(f"--replicas must be positive, got {arguments.replicas}")
+    # Validate flag combinations before model resolution: training variants
+    # is the expensive step and must not run for an invalid command line.
+    if arguments.port is not None and arguments.mode != "thread":
+        raise SystemExit("--port requires --mode thread")
+    if arguments.compare_naive and arguments.shards is not None:
+        raise SystemExit("--compare-naive only applies to single-model serving")
+    if arguments.compare_single_queue and arguments.shards is None:
+        raise SystemExit("--compare-single-queue only applies to --shards mode")
+
+    models = (
+        [name.strip() for name in arguments.shards.split(",") if name.strip()]
+        if arguments.shards is not None
+        else [arguments.model]
+    )
+    if not models:
+        raise SystemExit("--shards needs at least one variant name")
 
     registry = ModelRegistry(
         arguments.registry_dir,
@@ -161,11 +258,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
 
-    print(f"resolving model {arguments.model!r} (registry: {arguments.registry_dir}) ...")
-    try:
-        registry.get(arguments.model)
-    except KeyError as error:
-        raise SystemExit(str(error.args[0]) if error.args else str(error))
+    for name in models:
+        print(f"resolving model {name!r} (registry: {arguments.registry_dir}) ...")
+        try:
+            registry.get(name)
+        except KeyError as error:
+            raise SystemExit(str(error.args[0]) if error.args else str(error))
+
+    server = _build_server(arguments, registry, models)
+    if arguments.shards is not None:
+        server.warm()
+    else:
+        server.warm(models[0])
+
+    if arguments.port is not None:
+        with server:
+            frontend = SocketFrontend(server, host=arguments.host, port=arguments.port)
+            frontend.start()
+            print(
+                f"serving {', '.join(models)} on {arguments.host}:{frontend.port} "
+                f"(length-prefixed frames; Ctrl-C to drain and exit)"
+            )
+            frontend.serve_forever()
+        return 0
 
     if arguments.images is not None:
         pool = _load_image_directory(arguments.images, arguments.image_size)
@@ -182,39 +297,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         num_requests = arguments.synthetic
         duplicate_fraction = arguments.duplicate_fraction
         print(
-            f"serving {num_requests} synthetic requests "
+            f"serving {num_requests} synthetic requests over {len(models)} model(s) "
             f"({duplicate_fraction:.0%} duplicates, pool of {len(pool)})"
         )
 
-    requests = generate_requests(
-        pool,
-        num_requests,
-        duplicate_fraction=duplicate_fraction,
-        model=arguments.model,
-        seed=arguments.seed,
-    )
+    if len(models) > 1:
+        requests = generate_mixed_requests(
+            pool,
+            num_requests,
+            models,
+            duplicate_fraction=duplicate_fraction,
+            seed=arguments.seed,
+        )
+    else:
+        requests = generate_requests(
+            pool,
+            num_requests,
+            duplicate_fraction=duplicate_fraction,
+            model=models[0],
+            seed=arguments.seed,
+        )
 
     reports = []
     if arguments.compare_naive:
-        reports.append(run_naive_loop(registry.get(arguments.model), requests))
+        reports.append(run_naive_loop(registry.get(models[0]), requests))
+    if arguments.compare_single_queue:
+        single = BatchedServer(
+            registry,
+            max_batch_size=arguments.batch_size,
+            max_wait_ms=arguments.max_wait_ms,
+            cache_size=arguments.cache_size,
+            mode=arguments.mode,
+        )
+        with single:
+            reports.append(run_load(single, requests, label=f"single_queue[{arguments.mode}]"))
 
-    server = InferenceServer(
-        registry,
-        max_batch_size=arguments.batch_size,
-        max_wait_ms=arguments.max_wait_ms,
-        cache_size=arguments.cache_size,
-        mode=arguments.mode,
+    label = (
+        f"sharded[{arguments.mode},r{arguments.replicas},{arguments.routing}]"
+        if arguments.shards is not None
+        else f"micro_batched[{arguments.mode}]"
     )
-    server.warm(arguments.model)
     with server:
-        reports.append(run_load(server, requests, label=f"micro_batched[{arguments.mode}]"))
+        reports.append(run_load(server, requests, label=label))
 
     rows = [report.as_dict() for report in reports]
     print()
     print(format_table(rows))
     if len(reports) == 2:
         speedup = reports[1].images_per_second / max(reports[0].images_per_second, 1e-9)
-        print(f"\nmicro-batched speedup over naive loop: {speedup:.2f}x")
+        print(f"\n{reports[1].label} speedup over {reports[0].label}: {speedup:.2f}x")
 
     if arguments.json is not None:
         arguments.json.parent.mkdir(parents=True, exist_ok=True)

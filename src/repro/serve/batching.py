@@ -91,6 +91,19 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the scheduler can accept work right now.
+
+        Sync mode is always alive.  Thread mode is alive while the worker
+        thread is running: ``False`` before :meth:`start`, after
+        :meth:`stop`, and after a worker crash.
+        """
+
+        if self.mode == "sync":
+            return True
+        return bool(self._running and self._worker is not None and self._worker.is_alive())
+
     def start(self) -> "MicroBatcher":
         """Start the worker thread (no-op in sync mode or when running)."""
 
@@ -146,6 +159,45 @@ class MicroBatcher:
                     raise RuntimeError("thread-mode batcher is not running; call start()")
                 self._queue.put(item)
         return item.future
+
+    def take_pending(self) -> List[QueuedRequest]:
+        """Remove and return every request still waiting in this batcher.
+
+        Used when replacing a dead scheduler: the unserved requests (with
+        their original, still-unresolved futures) are handed to the
+        replacement via :meth:`adopt` so no accepted future is abandoned.
+        Call only on a stopped or dead batcher.
+        """
+
+        leftovers: List[QueuedRequest] = []
+        with self._lock:
+            leftovers.extend(self._pending)
+            self._pending = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:  # drop shutdown sentinels
+                leftovers.append(item)
+        return leftovers
+
+    def adopt(self, items: Sequence[QueuedRequest]) -> None:
+        """Enqueue already-wrapped requests (preserving their futures).
+
+        The counterpart of :meth:`take_pending` for scheduler replacement.
+        The batcher must be running (thread mode) or accepting (sync mode).
+        """
+
+        if self.mode == "sync":
+            with self._lock:
+                self._pending.extend(items)
+            return
+        with self._lock:
+            if not self._running:
+                raise RuntimeError("cannot adopt requests: batcher is not running")
+            for item in items:
+                self._queue.put(item)
 
     def flush(self) -> None:
         """Run every pending request now (sync mode)."""

@@ -1,0 +1,478 @@
+"""Non-blocking socket front-end: length-prefixed frames over TCP.
+
+The serving stack so far is in-process: callers hand ``PredictRequest``
+objects to a server and hold futures.  :class:`SocketFrontend` puts a
+network edge in front of any such server (single-queue
+:class:`~repro.serve.server.BatchedServer` or multi-model
+:class:`~repro.serve.shard.ShardedServer`): an ``asyncio`` event loop
+accepts any number of client connections, decodes request frames, feeds
+the server's queues without blocking, and streams each response frame back
+as soon as its future resolves -- responses may interleave out of request
+order, matched by ``request_id``.
+
+Wire format (all integers big-endian)::
+
+    frame   := kind(1 byte) length(4 bytes) payload(length bytes)
+    kind J  := payload is a UTF-8 JSON object
+    kind N  := payload is meta_len(4 bytes) meta(JSON) image(.npy bytes)
+
+JSON requests carry the image as a nested list (``{"op": "predict",
+"model": ..., "image": [[[...]]]}``); binary requests put the same fields
+minus the image in ``meta`` and append the raw ``numpy.save`` bytes, which
+avoids the float-to-text round trip for bulk traffic.  Control ops
+(``ping``, ``models``, ``stats``) and every response are JSON frames.
+Errors are reported as ``{"error": ..., "request_id": ...}`` frames; the
+connection stays open after a request-level error, only unparseable
+framing closes it.
+
+Shutdown is a graceful drain: :meth:`SocketFrontend.stop` stops accepting
+new connections, waits for in-flight requests to stream their responses,
+then closes.  The front-end never owns the inference server's lifecycle --
+start/stop the server separately.
+
+Thread-safety: the front-end runs its event loop in one background thread;
+``start``/``stop``/``serve_forever`` are owner operations.
+:class:`SocketClient` is a plain blocking client (one in-flight request at
+a time per client); use one client per thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .types import PredictRequest, UnknownModelError
+
+__all__ = [
+    "FRAME_JSON",
+    "FRAME_NPY",
+    "encode_json_frame",
+    "encode_npy_frame",
+    "decode_payload",
+    "SocketFrontend",
+    "SocketClient",
+]
+
+FRAME_JSON = b"J"  #: frame kind: UTF-8 JSON payload
+FRAME_NPY = b"N"  #: frame kind: JSON meta + raw ``.npy`` image bytes
+
+_HEADER = struct.Struct(">cI")
+_META_LEN = struct.Struct(">I")
+_MAX_PAYLOAD = 64 * 1024 * 1024  # refuse absurd frames instead of allocating
+
+
+def encode_json_frame(payload: Dict[str, object]) -> bytes:
+    """Serialize one JSON object into a length-prefixed ``J`` frame."""
+
+    body = json.dumps(payload).encode("utf-8")
+    return _HEADER.pack(FRAME_JSON, len(body)) + body
+
+
+def encode_npy_frame(meta: Dict[str, object], image: np.ndarray) -> bytes:
+    """Serialize a request with a binary image into an ``N`` frame.
+
+    ``meta`` carries everything but the image (``op``, ``model``,
+    ``request_id``); the image travels as raw ``numpy.save`` bytes.
+    """
+
+    meta_body = json.dumps(meta).encode("utf-8")
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(image), allow_pickle=False)
+    image_body = buffer.getvalue()
+    body = _META_LEN.pack(len(meta_body)) + meta_body + image_body
+    return _HEADER.pack(FRAME_NPY, len(body)) + body
+
+
+def decode_payload(kind: bytes, payload: bytes) -> Dict[str, object]:
+    """Decode one received frame payload into a message dict.
+
+    For ``N`` frames the decoded image array is attached under the
+    ``"image"`` key.  Raises ``ValueError`` for unknown kinds or malformed
+    payloads.
+    """
+
+    if kind == FRAME_JSON:
+        return json.loads(payload.decode("utf-8"))
+    if kind == FRAME_NPY:
+        if len(payload) < _META_LEN.size:
+            raise ValueError("truncated N frame")
+        (meta_len,) = _META_LEN.unpack_from(payload)
+        if _META_LEN.size + meta_len > len(payload):
+            raise ValueError("truncated N frame meta")
+        meta = json.loads(payload[_META_LEN.size : _META_LEN.size + meta_len].decode("utf-8"))
+        try:
+            image = np.load(
+                io.BytesIO(payload[_META_LEN.size + meta_len :]), allow_pickle=False
+            )
+        except Exception as error:
+            # np.load raises EOFError/OSError/ValueError depending on how the
+            # bytes are malformed; normalize so callers keep the documented
+            # ValueError -> error-frame contract.
+            raise ValueError(f"bad npy image payload: {error}") from error
+        meta["image"] = image
+        return meta
+    raise ValueError(f"unknown frame kind {kind!r}")
+
+
+class SocketFrontend:
+    """Asyncio TCP front-end feeding an in-process inference server.
+
+    Parameters
+    ----------
+    server:
+        Any object with ``submit(PredictRequest) -> Future`` plus ``mode``
+        and (for sync mode) ``flush()`` -- i.e. a
+        :class:`~repro.serve.server.BatchedServer` or
+        :class:`~repro.serve.shard.ShardedServer`.  Thread mode is the
+        intended deployment; sync mode is supported for deterministic
+        tests (each request is flushed through an executor).
+    host, port:
+        Bind address.  ``port=0`` picks a free port, exposed as
+        :attr:`port` after :meth:`start`.
+    drain_timeout:
+        Seconds :meth:`stop` waits for in-flight requests to finish
+        streaming before closing their connections.
+    """
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._inflight: "set[asyncio.Task]" = set()
+        self._connections: "set[asyncio.StreamWriter]" = set()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SocketFrontend":
+        """Bind the listener and serve in a background event-loop thread.
+
+        Blocks until the socket is bound (so :attr:`port` is final) and
+        returns ``self``.  Raises the underlying ``OSError`` if the bind
+        fails.
+        """
+
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-frontend", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    def stop(self) -> None:
+        """Gracefully drain and shut down the front-end.
+
+        Stops accepting connections, waits up to ``drain_timeout`` for
+        in-flight requests to stream their responses, closes remaining
+        connections and joins the event-loop thread.  The wrapped
+        inference server is left running.
+        """
+
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
+        future.result(timeout=self.drain_timeout + 5.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+        self._ready.clear()
+
+    def __enter__(self) -> "SocketFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until interrupted, then drain and stop."""
+
+        self.start()
+        try:
+            while self._thread is not None and self._thread.is_alive():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # Event loop internals
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._listener = loop.run_until_complete(
+                asyncio.start_server(self._handle_connection, self.host, self.port)
+            )
+        except BaseException as error:  # surface bind failures to start()
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self.port = self._listener.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        deadline = time.perf_counter() + self.drain_timeout
+        while self._inflight and time.perf_counter() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._connections):
+            writer.close()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_HEADER.size)
+                    kind, length = _HEADER.unpack(header)
+                    if length > _MAX_PAYLOAD:
+                        await self._send(writer, write_lock, {"error": "frame too large"})
+                        break
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break  # client went away (possibly mid-frame)
+                try:
+                    message = decode_payload(kind, payload)
+                except ValueError as error:
+                    await self._send(writer, write_lock, {"error": str(error)})
+                    break
+                task = asyncio.ensure_future(
+                    self._handle_message(message, writer, write_lock)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _handle_message(
+        self,
+        message: Dict[str, object],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        operation = message.get("op", "predict")
+        request_id = message.get("request_id")
+        try:
+            if operation == "ping":
+                await self._send(writer, write_lock, {"ok": True, "op": "ping"})
+            elif operation == "models":
+                models = getattr(self.server, "models", None)
+                if models is None:
+                    allowed = getattr(self.server, "allowed_models", None)
+                    if allowed:
+                        models = sorted(allowed)
+                    else:
+                        # Unrestricted single-queue server: report what the
+                        # registry has materialized so discovery stays truthful.
+                        registry = getattr(self.server, "registry", None)
+                        models = registry.loaded() if registry is not None else []
+                await self._send(writer, write_lock, {"op": "models", "models": list(models)})
+            elif operation == "stats":
+                await self._send(
+                    writer, write_lock, {"op": "stats", "stats": self.server.stats.as_dict()}
+                )
+            elif operation == "predict":
+                await self._handle_predict(message, writer, write_lock)
+            else:
+                await self._send(
+                    writer,
+                    write_lock,
+                    {"error": f"unknown op {operation!r}", "request_id": request_id},
+                )
+        except (ConnectionResetError, BrokenPipeError):  # client went away mid-reply
+            pass
+        except Exception as error:
+            try:
+                await self._send(
+                    writer, write_lock, {"error": str(error), "request_id": request_id}
+                )
+            except Exception:
+                pass
+
+    async def _handle_predict(
+        self,
+        message: Dict[str, object],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = message.get("request_id")
+        image = message.get("image")
+        if image is None:
+            await self._send(
+                writer, write_lock, {"error": "predict needs an image", "request_id": request_id}
+            )
+            return
+        try:
+            request = PredictRequest(
+                image=np.asarray(image, dtype=np.float64),
+                model=str(message.get("model", "baseline")),
+                request_id=request_id if request_id is None else str(request_id),
+            )
+        except ValueError as error:
+            await self._send(writer, write_lock, {"error": str(error), "request_id": request_id})
+            return
+        loop = asyncio.get_event_loop()
+        try:
+            future = self.server.submit(request)
+        except (UnknownModelError, RuntimeError) as error:
+            await self._send(writer, write_lock, {"error": str(error), "request_id": request_id})
+            return
+        if getattr(self.server, "mode", "thread") == "sync":
+            # Deterministic test mode: run the batch off the event loop.
+            await loop.run_in_executor(None, self.server.flush)
+        response = await asyncio.wrap_future(future)
+        self.requests_served += 1
+        body = response.as_dict()
+        body["probabilities"] = [float(value) for value in response.probabilities]
+        await self._send(writer, write_lock, body)
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: Dict[str, object]
+    ) -> None:
+        async with write_lock:
+            writer.write(encode_json_frame(payload))
+            await writer.drain()
+
+
+class SocketClient:
+    """Minimal blocking client for the front-end's frame protocol.
+
+    One in-flight request at a time: each call sends one frame and blocks
+    for one response frame.  Use one client per thread (the underlying
+    socket is not locked).  Usable as a context manager.
+
+    Parameters
+    ----------
+    host, port:
+        Address of a running :class:`SocketFrontend`.
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks: List[bytes] = []
+        while count:
+            chunk = self._socket.recv(count)
+            if not chunk:
+                raise ConnectionError("front-end closed the connection")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, frame: bytes) -> Dict[str, object]:
+        self._socket.sendall(frame)
+        kind, length = _HEADER.unpack(self._recv_exactly(_HEADER.size))
+        return decode_payload(kind, self._recv_exactly(length))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        image: np.ndarray,
+        model: str = "baseline",
+        request_id: Optional[str] = None,
+        binary: bool = True,
+    ) -> Dict[str, object]:
+        """Classify one ``(3, H, W)`` image; returns the response dict.
+
+        ``binary=True`` ships the image as raw ``.npy`` bytes (``N``
+        frame); ``binary=False`` uses the JSON nested-list encoding.
+        Raises ``RuntimeError`` when the server answers with an error.
+        """
+
+        meta: Dict[str, object] = {"op": "predict", "model": model}
+        if request_id is not None:
+            meta["request_id"] = request_id
+        if binary:
+            frame = encode_npy_frame(meta, np.asarray(image))
+        else:
+            meta["image"] = np.asarray(image).tolist()
+            frame = encode_json_frame(meta)
+        reply = self._roundtrip(frame)
+        if "error" in reply:
+            raise RuntimeError(str(reply["error"]))
+        return reply
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the front-end answers."""
+
+        return bool(self._roundtrip(encode_json_frame({"op": "ping"})).get("ok"))
+
+    def models(self) -> List[str]:
+        """The model names the server behind the front-end routes."""
+
+        return list(self._roundtrip(encode_json_frame({"op": "models"})).get("models", []))
+
+    def stats(self) -> Dict[str, object]:
+        """Fleet-wide serving counters of the server behind the front-end."""
+
+        reply = self._roundtrip(encode_json_frame({"op": "stats"}))
+        return dict(reply.get("stats", {}))

@@ -15,11 +15,17 @@ instances.  Resolution order:
 Alongside every classifier the registry keeps a compiled
 :class:`~repro.nn.inference.InferenceEngine`, which is what the batch
 scheduler actually runs.
+
+Thread-safety: resolution (:meth:`ModelRegistry.get` /
+:meth:`ModelRegistry.engine`) is serialized by an internal lock, so the
+shard replicas of a :class:`~repro.serve.shard.ShardedServer` can share one
+registry without training or compiling the same variant twice.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -78,6 +84,7 @@ class ModelRegistry:
         self._train_set: Optional[SignDataset] = None
         self._models: Dict[str, DefendedClassifier] = {}
         self._engines: Dict[str, InferenceEngine] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Catalog
@@ -111,24 +118,30 @@ class ModelRegistry:
     # Resolution
     # ------------------------------------------------------------------
     def get(self, name: str) -> DefendedClassifier:
-        """Return the trained classifier for ``name`` (memory -> disk -> train)."""
+        """Return the trained classifier for ``name`` (memory -> disk -> train).
 
-        if name in self._models:
-            return self._models[name]
-        classifier = self._load(name)
-        if classifier is None:
-            classifier = self._train(name)
-            if self.root is not None:
-                self._persist(name, classifier)
-        self._models[name] = classifier
-        return classifier
+        Thread-safe: concurrent callers materialize each variant at most
+        once (later callers block until the first finishes).
+        """
+
+        with self._lock:
+            if name in self._models:
+                return self._models[name]
+            classifier = self._load(name)
+            if classifier is None:
+                classifier = self._train(name)
+                if self.root is not None:
+                    self._persist(name, classifier)
+            self._models[name] = classifier
+            return classifier
 
     def engine(self, name: str) -> InferenceEngine:
-        """Compiled inference engine for ``name`` (compiled once, cached)."""
+        """Compiled inference engine for ``name`` (compiled once, cached, thread-safe)."""
 
-        if name not in self._engines:
-            self._engines[name] = InferenceEngine(self.get(name).model)
-        return self._engines[name]
+        with self._lock:
+            if name not in self._engines:
+                self._engines[name] = InferenceEngine(self.get(name).model)
+            return self._engines[name]
 
     def add(self, name: str, classifier: DefendedClassifier, persist: bool = True) -> None:
         """Register an externally trained classifier under ``name``.
@@ -137,10 +150,11 @@ class ModelRegistry:
         also written to the registry directory.
         """
 
-        self._models[name] = classifier
-        self._engines.pop(name, None)
-        if persist and self.root is not None:
-            self._persist(name, classifier)
+        with self._lock:
+            self._models[name] = classifier
+            self._engines.pop(name, None)
+            if persist and self.root is not None:
+                self._persist(name, classifier)
 
     # ------------------------------------------------------------------
     # Disk round trip

@@ -1,6 +1,6 @@
-"""The inference server: registry + prediction cache + micro-batcher.
+"""The single-queue inference server: registry + prediction cache + micro-batcher.
 
-:class:`InferenceServer` is the front door of the serving subsystem.  A
+:class:`BatchedServer` is the workhorse of the serving subsystem.  A
 request flows through three stages:
 
 1. **Cache probe** -- the content hash of the (model, image) pair is looked
@@ -17,6 +17,21 @@ request flows through three stages:
 
 Results are written back to the cache, so repeated traffic gets cheaper
 over time.
+
+Standalone, a :class:`BatchedServer` is the PR 1 *single-queue* server:
+one scheduler and one cache shared by every model it is asked for.  Under
+:class:`~repro.serve.shard.ShardedServer` the very same class is embedded
+once per shard replica -- pinned to a single variant via ``allowed_models``,
+stamped with a ``shard_id``, owning a private scheduler and cache.  That is
+the "single-queue server as one shard specialization" refactor: sharding
+composes this class instead of duplicating it.
+
+Thread-safety: ``submit`` may be called from any number of threads; the
+cache and the scheduler queue are internally locked.  ``restart`` and
+``stop`` are owner operations and must not race each other.
+
+``InferenceServer`` remains as a backwards-compatible alias of
+:class:`BatchedServer`.
 """
 
 from __future__ import annotations
@@ -31,12 +46,12 @@ from ..data.signs import SIGN_CLASSES
 from .batching import MicroBatcher, QueuedRequest
 from .cache import PredictionCache, image_fingerprint
 from .registry import ModelRegistry
-from .types import PredictRequest, PredictResponse, ServerStats
+from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
 
-__all__ = ["InferenceServer"]
+__all__ = ["BatchedServer", "InferenceServer"]
 
 
-class InferenceServer:
+class BatchedServer:
     """Batched, cached inference over a registry of defended classifiers.
 
     Parameters
@@ -55,6 +70,14 @@ class InferenceServer:
         the deterministic in-process scheduler.
     class_names:
         Human-readable class labels; defaults to the 18 LISA sign classes.
+    allowed_models:
+        When given, requests for any other variant are rejected with
+        :class:`~repro.serve.types.UnknownModelError` at submit time.  A
+        shard replica pins itself to one variant this way; ``None`` (the
+        default) serves every variant the registry can resolve.
+    shard_id:
+        Identifier stamped on every response this server produces;
+        ``None`` for standalone (non-sharded) servers.
     """
 
     def __init__(
@@ -66,33 +89,88 @@ class InferenceServer:
         cache_size: int = 1024,
         mode: str = "thread",
         class_names: Optional[Sequence[str]] = None,
+        allowed_models: Optional[Sequence[str]] = None,
+        shard_id: Optional[str] = None,
     ) -> None:
         self.registry = registry
         self.cache = PredictionCache(cache_size)
         self.class_names = list(class_names) if class_names is not None else list(SIGN_CLASSES)
+        self.allowed_models = frozenset(allowed_models) if allowed_models is not None else None
+        self.shard_id = shard_id
         self.stats = ServerStats()
-        self.batcher = MicroBatcher(
-            self._run_batch,
-            max_batch_size=max_batch_size,
-            max_wait=max_wait_ms / 1000.0,
-            mode=mode,
-        )
+        self._batcher_settings = {
+            "max_batch_size": max_batch_size,
+            "max_wait": max_wait_ms / 1000.0,
+            "mode": mode,
+        }
+        self.batcher = MicroBatcher(self._run_batch, **self._batcher_settings)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> "InferenceServer":
-        """Start the scheduler (no-op in sync mode)."""
+    @property
+    def mode(self) -> str:
+        """Scheduler mode, ``"thread"`` or ``"sync"``."""
+
+        return self.batcher.mode
+
+    @property
+    def alive(self) -> bool:
+        """Whether the server can accept work right now.
+
+        Sync-mode servers are always alive.  A thread-mode server is alive
+        between :meth:`start` and :meth:`stop` while its worker thread is
+        running; a crashed (or never-started) worker reports ``False``.
+        """
+
+        return self.batcher.alive
+
+    def start(self) -> "BatchedServer":
+        """Start the scheduler (no-op in sync mode).  Returns ``self``."""
 
         self.batcher.start()
         return self
 
     def stop(self) -> None:
-        """Flush pending requests and stop the scheduler."""
+        """Gracefully drain pending requests, then stop the scheduler.
+
+        Every request submitted before ``stop`` resolves its future (the
+        shutdown sentinel makes the worker run the backlog before
+        exiting); requests submitted after raise ``RuntimeError``.
+        """
 
         self.batcher.stop()
 
-    def __enter__(self) -> "InferenceServer":
+    def restart(self) -> "BatchedServer":
+        """Replace a dead scheduler with a fresh one and start it.
+
+        Used by :class:`~repro.serve.shard.ShardedServer` to revive a
+        crashed shard replica.  The registry, cache and counters survive;
+        only the queue/worker is rebuilt (``stats.restarts`` is
+        incremented), and any requests still waiting in the dead scheduler
+        are re-adopted by the new one so their futures eventually resolve.
+        Must not be called concurrently with :meth:`submit` racing on the
+        *same* dead batcher from another owner.
+        """
+
+        try:
+            self.batcher.stop()
+        except Exception:  # a half-dead worker must not block revival
+            pass
+        stranded = self.batcher.take_pending()
+        self.batcher = MicroBatcher(self._run_batch, **self._batcher_settings)
+        self.stats.restarts += 1
+        self.start()
+        if stranded:
+            self.batcher.adopt(stranded)
+        return self
+
+    def flush(self) -> None:
+        """Run every pending request now (sync mode; no-op in thread mode)."""
+
+        self.batcher.flush()
+
+    def __enter__(self) -> "BatchedServer":
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
@@ -112,13 +190,19 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, request: PredictRequest):
+    def submit(self, request: PredictRequest) -> "Future[PredictResponse]":
         """Submit one request; returns a ``Future[PredictResponse]``.
 
         Cache hits resolve the future immediately; misses resolve when the
-        micro-batch containing the request completes.
+        micro-batch containing the request completes.  Raises
+        :class:`~repro.serve.types.UnknownModelError` when the server is
+        pinned to other variants, ``RuntimeError`` when a thread-mode
+        scheduler is not running.  Safe to call from any thread.
         """
 
+        if self.allowed_models is not None and request.model not in self.allowed_models:
+            self.stats.rejected += 1
+            raise UnknownModelError(request.model, self.allowed_models)
         self.stats.requests += 1
         started = time.perf_counter()
         if self.cache.enabled:
@@ -143,8 +227,8 @@ class InferenceServer:
         """Synchronous convenience: submit one image and wait for the answer."""
 
         future = self.submit(PredictRequest(image=image, model=model))
-        if self.batcher.mode == "sync":
-            self.batcher.flush()
+        if self.mode == "sync":
+            self.flush()
         return future.result()
 
     def predict_many(
@@ -153,8 +237,8 @@ class InferenceServer:
         """Submit a stack of images and wait for all responses (in order)."""
 
         futures = [self.submit(PredictRequest(image=image, model=model)) for image in images]
-        if self.batcher.mode == "sync":
-            self.batcher.flush()
+        if self.mode == "sync":
+            self.flush()
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
@@ -214,4 +298,11 @@ class InferenceServer:
             latency_ms=latency_ms,
             cache_hit=cache_hit,
             batch_size=batch_size,
+            shard_id=self.shard_id,
         )
+
+
+#: Backwards-compatible name from PR 1, kept so existing imports and the
+#: pickled/documented API keep working.  New code should say
+#: :class:`BatchedServer`.
+InferenceServer = BatchedServer

@@ -4,13 +4,15 @@ Real road-sign traffic is bursty and repetitive: the same signs are seen
 from the same dashcams over and over.  :func:`generate_requests` models
 that with a pool of distinct images plus a configurable
 ``duplicate_fraction`` of exact repeats (which exercise the prediction
-cache), and :func:`run_load` pushes a request stream through an
-:class:`~repro.serve.server.InferenceServer` while measuring wall-clock
-throughput and per-request latency.
+cache); :func:`generate_mixed_requests` extends it to multi-model traffic
+-- the request stream interleaves several defense variants, the scenario
+that motivates :class:`~repro.serve.shard.ShardedServer`.
+:func:`run_load` pushes a request stream through any server exposing
+``submit``/``mode``/``flush`` (single-queue or sharded) while measuring
+wall-clock throughput and per-request latency.
 
-The same generator backs the ``python -m repro.serve`` CLI and the
-serving-throughput experiment scenario
-(:mod:`repro.experiments.serving`).
+The same generators back the ``python -m repro.serve`` CLI and the serving
+experiment scenarios (:mod:`repro.experiments.serving`).
 """
 
 from __future__ import annotations
@@ -22,12 +24,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..data.lisa import make_dataset
-from .server import InferenceServer
 from .types import PredictRequest, PredictResponse
 
 __all__ = [
     "synthetic_image_pool",
     "generate_requests",
+    "generate_mixed_requests",
     "ThroughputReport",
     "run_load",
     "run_naive_loop",
@@ -89,6 +91,63 @@ def generate_requests(
     return requests
 
 
+def generate_mixed_requests(
+    pool: np.ndarray,
+    num_requests: int,
+    models: Sequence[str],
+    duplicate_fraction: float = 0.0,
+    seed: int = 0,
+) -> List[PredictRequest]:
+    """Build a multi-model request stream from one image pool.
+
+    Models are assigned round-robin over request positions, so the stream
+    interleaves variants the way concurrent users of different models
+    would -- the worst case for a single shared micro-batch queue (every
+    drained batch fragments into one small forward per variant) and for a
+    single shared prediction cache (all variants' working sets compete for
+    one LRU capacity).
+
+    Parameters
+    ----------
+    pool:
+        ``(P, 3, H, W)`` stack of candidate images, cycled per model.
+    num_requests:
+        Length of the stream (spread round-robin over ``models``).
+    models:
+        Variant names to interleave (at least one).
+    duplicate_fraction:
+        Fraction of requests that repeat an earlier *(image, model)* pair
+        bit-identically (cache-hittable), as in :func:`generate_requests`.
+    seed:
+        Seed of the duplicate-placement randomness.
+    """
+
+    if not models:
+        raise ValueError("generate_mixed_requests needs at least one model")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    if len(pool) == 0:
+        raise ValueError("image pool is empty")
+    rng = np.random.default_rng(seed)
+    requests: List[PredictRequest] = []
+    fresh_per_model: Dict[str, int] = {model: 0 for model in models}
+    used: List[tuple] = []
+    for position in range(num_requests):
+        model = models[position % len(models)]
+        if used and rng.random() < duplicate_fraction:
+            model, pool_index = used[int(rng.integers(len(used)))]
+        else:
+            pool_index = fresh_per_model[model] % len(pool)
+            fresh_per_model[model] += 1
+            used.append((model, pool_index))
+        requests.append(
+            PredictRequest(
+                image=pool[pool_index], model=model, request_id=f"req-{position:06d}"
+            )
+        )
+    return requests
+
+
 @dataclass
 class ThroughputReport:
     """Result of one load run: throughput, latency distribution, serving stats."""
@@ -136,32 +195,38 @@ class ThroughputReport:
 
 
 def run_load(
-    server: InferenceServer,
+    server,
     requests: Sequence[PredictRequest],
     label: str = "micro_batched",
 ) -> ThroughputReport:
     """Push a request stream through ``server`` and measure it.
 
-    All requests are submitted as fast as possible (the scheduler decides
-    the batching); the run ends when every future has resolved.
+    ``server`` is any object with ``submit``/``mode``/``flush`` and a
+    ``stats`` counter set -- a single-queue
+    :class:`~repro.serve.server.BatchedServer` or a
+    :class:`~repro.serve.shard.ShardedServer`.  All requests are submitted
+    as fast as possible (the scheduler decides the batching); the run ends
+    when every future has resolved.
     """
 
-    stats_requests_before = server.stats.requests
-    stats_hits_before = server.stats.cache_hits
-    batches_before = server.stats.batches
-    images_before = server.stats.batched_images
+    stats_before = server.stats
+    stats_requests_before = stats_before.requests
+    stats_hits_before = stats_before.cache_hits
+    batches_before = stats_before.batches
+    images_before = stats_before.batched_images
 
     started = time.perf_counter()
     futures = [server.submit(request) for request in requests]
-    if server.batcher.mode == "sync":
-        server.batcher.flush()
+    if server.mode == "sync":
+        server.flush()
     responses: List[PredictResponse] = [future.result() for future in futures]
     wall = time.perf_counter() - started
 
-    window_requests = server.stats.requests - stats_requests_before
-    window_hits = server.stats.cache_hits - stats_hits_before
-    window_batches = server.stats.batches - batches_before
-    window_images = server.stats.batched_images - images_before
+    stats_after = server.stats
+    window_requests = stats_after.requests - stats_requests_before
+    window_hits = stats_after.cache_hits - stats_hits_before
+    window_batches = stats_after.batches - batches_before
+    window_images = stats_after.batched_images - images_before
     return ThroughputReport(
         label=label,
         requests=len(requests),

@@ -3,19 +3,49 @@
 A :class:`PredictRequest` wraps one image destined for one named model; the
 server answers with a :class:`PredictResponse` carrying the decision, the
 full probability vector and the serving metadata (latency, whether the
-answer came from the prediction cache, and the size of the micro-batch the
-request rode in).  :class:`ServerStats` aggregates counters over the
-server's lifetime.
+answer came from the prediction cache, the size of the micro-batch the
+request rode in and, under sharded serving, which shard replica produced
+it).  :class:`ServerStats` aggregates counters over one server's lifetime;
+:meth:`ServerStats.aggregate` merges the per-shard counters of a
+:class:`~repro.serve.shard.ShardedServer` into one fleet-wide view.
+
+Thread-safety: request/response objects are plain value carriers and are
+never mutated by the serving layer after construction; they may be shared
+freely across threads.  ``ServerStats`` counters are bumped without a lock
+from whichever thread performs the event (submitters bump ``requests`` /
+``cache_hits`` / ``rejected``, the scheduler worker bumps the batch
+counters), so they are monitoring-grade approximations: under concurrent
+submitters a race can lose an increment, and readers may observe values
+mid-update.  Nothing in the serving layer makes control-flow decisions
+from these counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["PredictRequest", "PredictResponse", "ServerStats"]
+__all__ = ["UnknownModelError", "PredictRequest", "PredictResponse", "ServerStats"]
+
+
+class UnknownModelError(KeyError):
+    """Raised when a request names a model the server does not serve.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` call sites
+    (e.g. the CLI) keep working.  Raised synchronously by ``submit`` --
+    routing failures never consume queue capacity.
+    """
+
+    def __init__(self, model: str, known: Iterable[str]) -> None:
+        super().__init__(
+            f"unknown model {model!r}; served models: {', '.join(sorted(known)) or '(none)'}"
+        )
+        self.model = model
+
+    def __str__(self) -> str:
+        return self.args[0]
 
 
 @dataclass
@@ -64,6 +94,9 @@ class PredictResponse:
     batch_size:
         Size of the micro-batch this request was folded into (1 for cache
         hits and the naive path).
+    shard_id:
+        Identifier of the shard replica that produced the answer (``None``
+        when served by a plain single-queue server).
     """
 
     request_id: Optional[str]
@@ -74,6 +107,7 @@ class PredictResponse:
     latency_ms: float
     cache_hit: bool = False
     batch_size: int = 1
+    shard_id: Optional[str] = None
 
     @property
     def confidence(self) -> float:
@@ -93,17 +127,25 @@ class PredictResponse:
             "latency_ms": float(self.latency_ms),
             "cache_hit": bool(self.cache_hit),
             "batch_size": int(self.batch_size),
+            "shard_id": self.shard_id,
         }
 
 
 @dataclass
 class ServerStats:
-    """Lifetime counters of an :class:`~repro.serve.server.InferenceServer`."""
+    """Lifetime counters of one serving queue.
+
+    Each :class:`~repro.serve.server.BatchedServer` (standalone or embedded
+    as a shard replica) owns one instance; sharded deployments merge the
+    per-replica instances with :meth:`aggregate`.
+    """
 
     requests: int = 0
     cache_hits: int = 0
     batches: int = 0
     batched_images: int = 0
+    rejected: int = 0
+    restarts: int = 0
     batch_sizes: Dict[int, int] = field(default_factory=dict)
 
     def record_batch(self, size: int) -> None:
@@ -135,4 +177,29 @@ class ServerStats:
             "batches": self.batches,
             "batched_images": self.batched_images,
             "mean_batch_size": self.mean_batch_size,
+            "rejected": self.rejected,
+            "restarts": self.restarts,
         }
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["ServerStats"]) -> "ServerStats":
+        """Merge several per-queue counter sets into one combined view.
+
+        Returns a new instance; the inputs are not modified.  Used by
+        :class:`~repro.serve.shard.ShardedServer` to expose fleet-wide
+        stats over its replicas.
+        """
+
+        total = cls()
+        for part in parts:
+            total.requests += part.requests
+            total.cache_hits += part.cache_hits
+            total.batches += part.batches
+            total.batched_images += part.batched_images
+            total.rejected += part.rejected
+            total.restarts += part.restarts
+            # Snapshot: a scheduler worker may insert a new batch-size key
+            # while we aggregate from another thread.
+            for size, count in dict(part.batch_sizes).items():
+                total.batch_sizes[size] = total.batch_sizes.get(size, 0) + count
+        return total

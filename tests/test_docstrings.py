@@ -1,0 +1,84 @@
+"""Docstring enforcement for the serving subsystem's public API.
+
+A lightweight ``pydocstyle`` substitute that needs no extra dependency:
+every public symbol of ``repro.serve`` (and the compiled inference engine
+it rides on) must carry a docstring -- module, class, function, method and
+property alike.  New serving code that silently drops documentation fails
+here instead of rotting quietly (the documentation layer is part of this
+subsystem's contract, see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+MODULES = [
+    "repro.serve",
+    "repro.serve.batching",
+    "repro.serve.cache",
+    "repro.serve.frontend",
+    "repro.serve.registry",
+    "repro.serve.server",
+    "repro.serve.shard",
+    "repro.serve.traffic",
+    "repro.serve.types",
+    "repro.serve.__main__",
+    "repro.nn.inference",
+]
+
+
+def _has_doc(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def _public_members(module):
+    """Yield (qualified name, object) for the module's public API surface."""
+
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports are checked where they are defined
+        yield f"{module.__name__}.{name}", member
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_"):
+                    continue
+                if isinstance(attr, property):
+                    yield f"{module.__name__}.{name}.{attr_name}", attr.fget
+                elif inspect.isfunction(attr):
+                    yield f"{module.__name__}.{name}.{attr_name}", attr
+                elif isinstance(attr, (classmethod, staticmethod)):
+                    yield f"{module.__name__}.{name}.{attr_name}", attr.__func__
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert _has_doc(module), f"module {module_name} is missing a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_public_symbol_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    missing = [
+        qualified_name
+        for qualified_name, member in _public_members(module)
+        if not _has_doc(member)
+    ]
+    assert not missing, f"public symbols without docstrings: {', '.join(sorted(missing))}"
+
+
+def test_serve_all_exports_resolve():
+    """Everything advertised in repro.serve.__all__ exists and is documented."""
+
+    serve = importlib.import_module("repro.serve")
+    for name in serve.__all__:
+        member = getattr(serve, name)
+        assert _has_doc(member), f"repro.serve.{name} is exported but undocumented"
