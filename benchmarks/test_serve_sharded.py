@@ -20,10 +20,7 @@ rows are written to ``results/BENCH_serve_sharded.json``.
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
-from conftest import run_once
+from conftest import run_once, write_bench_artifact
 
 from repro.models.factory import build_variant, resolve_variant
 from repro.serve import (
@@ -41,7 +38,6 @@ PASSES = 3  # each variant's pool is cycled this many times
 MAX_BATCH_SIZE = 32
 CACHE_SIZE = POOL_SIZE + MAX_BATCH_SIZE  # holds ONE variant's working set
 IMAGE_SIZE = 32
-ARTIFACT = Path(__file__).resolve().parents[1] / "results" / "BENCH_serve_sharded.json"
 
 
 def _sharded_setup():
@@ -98,20 +94,20 @@ def test_sharded_throughput_scaling(benchmark):
         row["max_batch_size"] = MAX_BATCH_SIZE
         row["cache_size_per_queue"] = CACHE_SIZE
         rows.append(row)
-    artifact = {
-        "benchmark": "serve_sharded",
-        "models": list(MODELS),
-        "num_requests": len(stream),
-        "passes": PASSES,
-        "speedup_sharded_vs_single_queue": round(speedup, 2),
-        "rows": rows,
-    }
-    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
-    ARTIFACT.write_text(json.dumps(artifact, indent=2))
+    artifact_path = write_bench_artifact(
+        "serve_sharded",
+        {
+            "models": list(MODELS),
+            "num_requests": len(stream),
+            "passes": PASSES,
+            "speedup_sharded_vs_single_queue": round(speedup, 2),
+            "rows": rows,
+        },
+    )
 
     print(f"\nsingle queue: {single_report.images_per_second:.0f} img/s")
     print(f"sharded: {sharded_report.images_per_second:.0f} img/s ({speedup:.2f}x)")
-    print(f"artifact: {ARTIFACT}")
+    print(f"artifact: {artifact_path}")
 
     # The single shared queue fragments every batch across the three
     # variants; the shards fill full per-variant batches and keep each

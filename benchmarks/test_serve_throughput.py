@@ -1,28 +1,30 @@
 """Serving throughput: naive per-request loop vs the micro-batching scheduler.
 
-Unlike the paper-table benchmarks, this one measures the new serving
+Unlike the paper-table benchmarks, this one measures the serving
 subsystem: the same stream of unique images is pushed through
 
 * the **naive loop** -- one synchronous ``DefendedClassifier.predict``
-  call per request (the only way to get predictions before
-  :mod:`repro.serve` existed), and
+  call per request (how the experiment scripts produce predictions
+  without :mod:`repro.serve`), and
 * the **micro-batching scheduler** at ``max_batch_size=32`` with the
-  prediction cache disabled, so the measured gain is purely batching plus
-  the compiled inference engine;
+  prediction cache disabled, isolating the batching amortization;
 * the scheduler again on a duplicate-heavy stream with the cache enabled,
   showing the additional win on repetitive traffic.
 
-The scheduler must sustain at least 3x the naive throughput (the serving
-PR's acceptance criterion).  The measured numbers are written to
-``results/BENCH_serve.json`` as a report artifact.
+Baseline note: since the compiled-engine PR, even the "naive" per-request
+``predict`` rides the per-model cached
+:class:`~repro.nn.inference.InferenceEngine` (several times the old
+float64 throughput -- that gap is asserted in
+``benchmarks/test_engine_eval.py``).  What this benchmark isolates is the
+remaining *batching* win on top of the fast engine: one engine call per
+32 requests instead of 32 per-call entries, which must still buy at least
+1.25x.  The measured numbers are written to
+``results/BENCH_serve_throughput.json`` as a report artifact.
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
-from conftest import run_once
+from conftest import run_once, write_bench_artifact
 
 from repro.core import DefenseConfig, DefendedClassifier
 from repro.serve import (
@@ -36,7 +38,6 @@ from repro.serve import (
 
 NUM_REQUESTS = 192
 MAX_BATCH_SIZE = 32
-ARTIFACT = Path(__file__).resolve().parents[1] / "results" / "BENCH_serve.json"
 
 
 def _serving_setup():
@@ -80,24 +81,26 @@ def test_micro_batching_speedup(benchmark):
     rows = [report.as_dict() for report in (naive, batched, cached)]
     for row in rows:
         row["max_batch_size"] = MAX_BATCH_SIZE
-    artifact = {
-        "benchmark": "serve_throughput",
-        "num_requests": NUM_REQUESTS,
-        "speedup_batched_vs_naive": round(speedup, 2),
-        "rows": rows,
-    }
-    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
-    ARTIFACT.write_text(json.dumps(artifact, indent=2))
+    artifact_path = write_bench_artifact(
+        "serve_throughput",
+        {
+            "num_requests": NUM_REQUESTS,
+            "speedup_batched_vs_naive": round(speedup, 2),
+            "rows": rows,
+        },
+    )
 
     print(f"\nnaive: {naive.images_per_second:.0f} img/s")
     print(f"micro-batched: {batched.images_per_second:.0f} img/s ({speedup:.2f}x)")
     print(f"cached (50% dups): {cached.images_per_second:.0f} img/s")
-    print(f"artifact: {ARTIFACT}")
+    print(f"artifact: {artifact_path}")
 
     assert batched.mean_batch_size > 1
-    assert (
-        speedup >= 3.0
-    ), f"micro-batching sustained only {speedup:.2f}x the naive loop (need >= 3x)"
+    assert speedup >= 1.25, (
+        f"micro-batching sustained only {speedup:.2f}x the engine-backed naive "
+        f"loop (need >= 1.25x; the engine-vs-autodiff gap is asserted in "
+        f"test_engine_eval.py)"
+    )
 
 
 def test_thread_scheduler_keeps_up(benchmark):

@@ -57,11 +57,19 @@ def evaluate_transfer(
     model_name: str,
     evaluation_set: SignDataset,
     attack_result: AttackResult,
+    exact: bool = False,
 ) -> TransferOutcome:
-    """Measure how well pre-computed adversarial examples transfer to a model."""
+    """Measure how well pre-computed adversarial examples transfer to a model.
 
-    clean_predictions = predict_classes(target_model, evaluation_set.images)
-    adversarial_predictions = predict_classes(target_model, attack_result.adversarial_images)
+    The clean and adversarial predictions are gradient-free, so they run on
+    the compiled :func:`~repro.nn.inference.cached_engine` fast path by
+    default; pass ``exact=True`` for the float64 autodiff forward.
+    """
+
+    clean_predictions = predict_classes(target_model, evaluation_set.images, exact=exact)
+    adversarial_predictions = predict_classes(
+        target_model, attack_result.adversarial_images, exact=exact
+    )
     clean_accuracy = float((clean_predictions == evaluation_set.labels).mean())
     return TransferOutcome(
         model_name=model_name,
@@ -78,6 +86,7 @@ def run_transfer_attack(
     target_class: int,
     sticker_masks: np.ndarray,
     config: Optional[RP2Config] = None,
+    exact: bool = False,
 ) -> List[TransferOutcome]:
     """Generate RP2 examples on ``source_model`` and transfer them to every target.
 
@@ -95,6 +104,10 @@ def run_transfer_attack(
         ``(N, H, W)`` sticker masks for the evaluation views.
     config:
         RP2 hyper-parameters (the paper uses ``lambda = 0.002``).
+    exact:
+        Evaluation forward path: compiled float32 engine by default,
+        float64 autodiff when true.  Attack *generation* always runs the
+        autodiff forward (it needs gradients).
 
     Returns
     -------
@@ -105,7 +118,7 @@ def run_transfer_attack(
     attack = RP2Attack(source_model, config=config)
     result = attack.generate(evaluation_set.images, sticker_masks, target_class)
 
-    outcomes = [evaluate_transfer(source_model, "source", evaluation_set, result)]
+    outcomes = [evaluate_transfer(source_model, "source", evaluation_set, result, exact=exact)]
     for name, model in target_models.items():
-        outcomes.append(evaluate_transfer(model, name, evaluation_set, result))
+        outcomes.append(evaluate_transfer(model, name, evaluation_set, result, exact=exact))
     return outcomes

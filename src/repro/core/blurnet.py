@@ -163,8 +163,20 @@ class DefendedClassifier:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def predict(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+    def predict(
+        self,
+        images: np.ndarray,
+        batch_size: Optional[int] = None,
+        *,
+        exact: bool = False,
+    ) -> np.ndarray:
         """Class predictions, applying the randomized-smoothing vote when configured.
+
+        Predictions run on the compiled float32
+        :func:`~repro.nn.inference.cached_engine` fast path by default
+        (arg-max decisions are insensitive to the float32 rounding, and the
+        cached engine recompiles itself whenever the model's weights are
+        replaced); pass ``exact=True`` for the float64 autodiff forward.
 
         Large inputs are processed in bounded-memory chunks: 128 images at
         a time by default for the plain logits path (chunking is invisible
@@ -178,33 +190,42 @@ class DefendedClassifier:
 
         if self.smoother is not None:
             if batch_size is None:
-                return self.smoother.predict(images)
+                return self.smoother.predict(images, exact=exact)
             return np.concatenate(
                 [
-                    self.smoother.predict(images[start : start + batch_size])
+                    self.smoother.predict(images[start : start + batch_size], exact=exact)
                     for start in range(0, len(images), batch_size)
                 ],
                 axis=0,
             )
         from ..models.training import predict_classes
 
-        return predict_classes(self.model, images, batch_size or 128)
+        return predict_classes(self.model, images, batch_size or 128, exact=exact)
 
-    def predict_proba(self, images: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+    def predict_proba(
+        self,
+        images: np.ndarray,
+        batch_size: Optional[int] = None,
+        *,
+        exact: bool = False,
+    ) -> np.ndarray:
         """Class probabilities, shape ``(N, num_classes)``.
 
         For randomized-smoothing variants this is the Monte-Carlo vote
         share; for every other variant it is the softmax of the logits.
-        Chunking follows the same rules as :meth:`predict`.
+        Runs on the compiled engine by default (``exact=True`` opts out);
+        chunking follows the same rules as :meth:`predict`.
         """
 
         if self.smoother is not None:
             if batch_size is None:
-                counts = self.smoother.class_counts(images)
+                counts = self.smoother.class_counts(images, exact=exact)
             else:
                 counts = np.concatenate(
                     [
-                        self.smoother.class_counts(images[start : start + batch_size])
+                        self.smoother.class_counts(
+                            images[start : start + batch_size], exact=exact
+                        )
                         for start in range(0, len(images), batch_size)
                     ],
                     axis=0,
@@ -212,19 +233,25 @@ class DefendedClassifier:
             return counts / float(self.smoother.num_samples)
         from ..models.training import predict_proba
 
-        return predict_proba(self.model, images, batch_size or 128)
+        return predict_proba(self.model, images, batch_size or 128, exact=exact)
 
     def predict_logits(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-        """Raw logits of the underlying model (no smoothing), computed in chunks."""
+        """Raw logits of the underlying model (no smoothing), computed in chunks.
+
+        Logits are the raw-precision API and always use the exact float64
+        forward; use :func:`repro.nn.inference.cached_engine` directly for
+        float32 logits.
+        """
 
         from ..models.training import predict_logits
 
         return predict_logits(self.model, images, batch_size)
 
-    def evaluate(self, dataset: SignDataset) -> float:
-        """Accuracy of the defense on a labelled dataset."""
+    def evaluate(self, dataset: SignDataset, *, exact: bool = False) -> float:
+        """Accuracy of the defense on a labelled dataset (compiled fast path
+        by default; ``exact=True`` forces the float64 forward)."""
 
-        predictions = self.predict(dataset.images)
+        predictions = self.predict(dataset.images, exact=exact)
         return float((predictions == dataset.labels).mean())
 
     @property

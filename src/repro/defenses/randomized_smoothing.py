@@ -13,18 +13,30 @@ Two pieces are provided:
   forward pass.
 * :class:`SmoothedClassifier` wraps a trained model and performs the
   Monte-Carlo vote at *prediction* time (the "Rand. sm" rows).
+
+The vote is fully vectorized: all Monte-Carlo samples of a chunk run as
+one batched forward on the compiled float32
+:func:`~repro.nn.inference.cached_engine` (pass ``exact=True`` per call --
+or construct with ``exact=True`` -- for the float64 autodiff forward).
+Chunking happens over the *sample* axis only, and the noise for a chunk is
+drawn with a single generator call, so the consumed random stream -- and
+therefore the vote, for the exact path -- is bit-identical to the historic
+one-sample-at-a-time loop regardless of chunk size.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..models.training import predict_logits
 from ..nn.layers import Sequential
 
 __all__ = ["SmoothedClassifier"]
+
+#: Soft cap, in float64 elements, on one chunk of noisy Monte-Carlo copies
+#: (~64 MB); the sample axis is chunked to stay under it.
+_MAX_CHUNK_ELEMENTS = 8_000_000
 
 
 class SmoothedClassifier:
@@ -42,6 +54,10 @@ class SmoothedClassifier:
         Number of Monte-Carlo samples per prediction (100 in the paper).
     seed:
         Seed of the smoothing noise generator.
+    exact:
+        Default forward path for the vote: ``False`` (compiled float32
+        engine, the fast path) or ``True`` (float64 autodiff forward).
+        Every prediction method also accepts a per-call ``exact`` override.
     """
 
     def __init__(
@@ -50,6 +66,7 @@ class SmoothedClassifier:
         sigma: float,
         num_samples: int = 100,
         seed: int = 0,
+        exact: bool = False,
     ) -> None:
         if sigma < 0:
             raise ValueError("sigma must be non-negative")
@@ -58,33 +75,64 @@ class SmoothedClassifier:
         self.model = model
         self.sigma = sigma
         self.num_samples = num_samples
+        self.exact = exact
         self._rng = np.random.default_rng(seed)
 
-    def class_counts(self, images: np.ndarray) -> np.ndarray:
-        """Return the per-class Monte-Carlo vote counts, shape ``(N, num_classes)``."""
+    def _forward_logits(self, images: np.ndarray, exact: bool) -> np.ndarray:
+        if exact:
+            from ..models.training import predict_logits
 
+            return predict_logits(self.model, images)
+        from ..nn.inference import cached_engine
+
+        return cached_engine(self.model).predict_logits(images, batch_size=32)
+
+    def class_counts(self, images: np.ndarray, *, exact: Optional[bool] = None) -> np.ndarray:
+        """Return the per-class Monte-Carlo vote counts, shape ``(N, num_classes)``.
+
+        All samples of a chunk are folded into one batched forward; the
+        chunk size only bounds peak memory, never the result (the noise
+        stream is consumed in the same order for every chunking).
+        """
+
+        exact = self.exact if exact is None else exact
         images = np.asarray(images, dtype=np.float64)
+        count = len(images)
+        if count == 0:
+            raise ValueError("class_counts needs at least one image")
+        per_image = int(np.prod(images.shape[1:]))
+        samples_per_chunk = max(1, _MAX_CHUNK_ELEMENTS // max(count * per_image, 1))
+
         votes: Optional[np.ndarray] = None
-        for _sample in range(self.num_samples):
-            noisy = np.clip(
-                images + self._rng.normal(0.0, self.sigma, size=images.shape), 0.0, 1.0
+        drawn = 0
+        while drawn < self.num_samples:
+            chunk = min(samples_per_chunk, self.num_samples - drawn)
+            drawn += chunk
+            # One generator call per chunk: fills in C order, so the random
+            # stream equals ``chunk`` sequential per-sample draws.
+            noise = self._rng.normal(0.0, self.sigma, size=(chunk,) + images.shape)
+            noisy = np.clip(images[None] + noise, 0.0, 1.0)
+            logits = self._forward_logits(
+                noisy.reshape((chunk * count,) + images.shape[1:]), exact
             )
-            logits = predict_logits(self.model, noisy)
-            predictions = logits.argmax(axis=-1)
+            predictions = logits.argmax(axis=-1).reshape(chunk, count)
             if votes is None:
-                votes = np.zeros((len(images), logits.shape[-1]), dtype=np.int64)
-            votes[np.arange(len(images)), predictions] += 1
+                votes = np.zeros((count, logits.shape[-1]), dtype=np.int64)
+            for sample_predictions in predictions:
+                votes[np.arange(count), sample_predictions] += 1
         return votes
 
-    def predict(self, images: np.ndarray) -> np.ndarray:
+    def predict(self, images: np.ndarray, *, exact: Optional[bool] = None) -> np.ndarray:
         """Majority-vote class predictions for a batch of images."""
 
-        return self.class_counts(images).argmax(axis=-1)
+        return self.class_counts(images, exact=exact).argmax(axis=-1)
 
-    def predict_with_confidence(self, images: np.ndarray) -> tuple:
+    def predict_with_confidence(
+        self, images: np.ndarray, *, exact: Optional[bool] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(predictions, confidence)`` where confidence is the vote share."""
 
-        counts = self.class_counts(images)
+        counts = self.class_counts(images, exact=exact)
         predictions = counts.argmax(axis=-1)
         confidence = counts.max(axis=-1) / self.num_samples
         return predictions, confidence

@@ -116,11 +116,15 @@ def run_adaptive_evaluation(
     context: Optional[ExperimentContext] = None,
     model_names: Optional[Sequence[str]] = None,
     dct_dimension: Optional[int] = None,
+    exact: bool = False,
 ) -> List[AdaptiveRow]:
     """Run the Table III adaptive-attack sweep.
 
     By default every proposed defense of Table II (depthwise conv, TV,
     Tikhonov) is attacked; pass ``model_names`` to restrict the sweep.
+    The clean/adversarial evaluations run on the compiled per-model
+    engine by default (``exact=True`` opts back into float64); the
+    adaptive attacks themselves always differentiate through the model.
     """
 
     context = context if context is not None else get_context()
@@ -144,6 +148,7 @@ def run_adaptive_evaluation(
             profile.target_classes,
             attack_factory=factory,
             cache_tag=f"adaptive:{attack_name}",
+            exact=exact,
         )
         rows.append(_row_from_sweep(sweep, attack_name))
     return rows

@@ -69,6 +69,7 @@ def _adaptive_attack_registry(context: ExperimentContext) -> Dict[str, object]:
 def run_advtrain_evaluation(
     context: Optional[ExperimentContext] = None,
     include_defended_models: bool = True,
+    exact: bool = False,
 ) -> List[AdvTrainRow]:
     """Evaluate the adversarially trained model against the adaptive attacks.
 
@@ -80,6 +81,9 @@ def run_advtrain_evaluation(
         Also evaluate each regularized defense under its own adaptive attack
         so Table V can compare "adv-train under attack X" against "defense X
         under attack X" directly.
+    exact:
+        Run the clean/adversarial evaluations on the float64 autodiff
+        forward instead of the compiled engine.
     """
 
     context = context if context is not None else get_context()
@@ -99,6 +103,7 @@ def run_advtrain_evaluation(
             profile.target_classes,
             attack_factory=factory,
             cache_tag=f"advtrain:{attack_name}",
+            exact=exact,
         )
         rows.append(
             AdvTrainRow(
@@ -118,7 +123,9 @@ def run_advtrain_evaluation(
             for name, config in context.table2_configs().items()
             if config.kind in {"tv", "tik_hf", "tik_pseudo"}
         ]
-        for adaptive_row in run_adaptive_evaluation(context, model_names=defended_names):
+        for adaptive_row in run_adaptive_evaluation(
+            context, model_names=defended_names, exact=exact
+        ):
             rows.append(
                 AdvTrainRow(
                     model_name=adaptive_row.model_name,

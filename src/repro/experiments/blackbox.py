@@ -50,8 +50,15 @@ class BlackboxRow:
 def run_blackbox_evaluation(
     context: Optional[ExperimentContext] = None,
     target_class: Optional[int] = None,
+    exact: bool = False,
 ) -> List[BlackboxRow]:
     """Run the Table I transfer experiment.
+
+    The per-model accuracy and transfer-success evaluations are pure
+    inference and run on the compiled per-model
+    :func:`~repro.nn.inference.cached_engine` by default (several times
+    faster than the float64 autodiff forward; see
+    ``benchmarks/test_engine_eval.py``).
 
     Parameters
     ----------
@@ -60,6 +67,9 @@ def run_blackbox_evaluation(
     target_class:
         RP2 target class used to generate the transferred examples; defaults
         to the first entry of the profile's target list.
+    exact:
+        Pass true to evaluate on the float64 autodiff forward instead of
+        the compiled engine.
     """
 
     context = context if context is not None else get_context()
@@ -84,6 +94,7 @@ def run_blackbox_evaluation(
         target_class=target_class,
         sticker_masks=context.sticker_masks,
         config=attack_config,
+        exact=exact,
     )
 
     rows: List[BlackboxRow] = []

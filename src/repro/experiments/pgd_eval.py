@@ -53,8 +53,14 @@ class PGDRow:
 def run_pgd_evaluation(
     context: Optional[ExperimentContext] = None,
     model_names: Optional[Sequence[str]] = None,
+    exact: bool = False,
 ) -> List[PGDRow]:
-    """Attack each defense variant with unconstrained L-infinity PGD."""
+    """Attack each defense variant with unconstrained L-infinity PGD.
+
+    The clean/adversarial scoring runs on the compiled engine by default;
+    ``exact=True`` opts back into the float64 autodiff forward (attack
+    generation always differentiates through the model).
+    """
 
     context = context if context is not None else get_context()
     profile = context.profile
@@ -77,10 +83,10 @@ def run_pgd_evaluation(
     rows: List[PGDRow] = []
     for name, config in configs.items():
         classifier = context.get_model(config)
-        clean_predictions = classifier.predict(evaluation.images)
+        clean_predictions = classifier.predict(evaluation.images, exact=exact)
         attack = PGDAttack(classifier.model, pgd_config)
         result = attack.generate(evaluation.images, evaluation.labels)
-        adversarial_predictions = classifier.predict(result.adversarial_images)
+        adversarial_predictions = classifier.predict(result.adversarial_images, exact=exact)
         rows.append(
             PGDRow(
                 model_name=name,

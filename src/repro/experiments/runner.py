@@ -26,7 +26,11 @@ from .figures import (
 )
 from .pgd_eval import run_pgd_evaluation
 from .reporting import print_table, save_rows
-from .serving import run_serving_evaluation, run_sharded_serving_evaluation
+from .serving import (
+    run_process_serving_evaluation,
+    run_serving_evaluation,
+    run_sharded_serving_evaluation,
+)
 from .whitebox import run_whitebox_evaluation
 
 __all__ = ["run_all", "main", "PROFILES"]
@@ -38,8 +42,17 @@ PROFILES = {
 }
 
 
-def run_all(profile: Optional[ExperimentProfile] = None, output_dir: Optional[Path] = None) -> Dict[str, List[Dict[str, object]]]:
-    """Run every table and figure; returns the row dictionaries keyed by experiment id."""
+def run_all(
+    profile: Optional[ExperimentProfile] = None,
+    output_dir: Optional[Path] = None,
+    exact: bool = False,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Run every table and figure; returns the row dictionaries keyed by experiment id.
+
+    Gradient-free evaluations (accuracy sweeps, transfer scoring) run on
+    the compiled per-model inference engine by default; ``exact=True``
+    forces the float64 autodiff forward everywhere (slower, bit-faithful).
+    """
 
     profile = profile if profile is not None else fast_profile()
     context = get_context(profile)
@@ -57,27 +70,27 @@ def run_all(profile: Optional[ExperimentProfile] = None, output_dir: Optional[Pa
     record(
         "table1",
         "Table I (black-box transfer)",
-        [row.as_dict() for row in run_blackbox_evaluation(context)],
+        [row.as_dict() for row in run_blackbox_evaluation(context, exact=exact)],
     )
     record(
         "table2",
         "Table II (white-box RP2)",
-        [row.as_dict() for row in run_whitebox_evaluation(context)],
+        [row.as_dict() for row in run_whitebox_evaluation(context, exact=exact)],
     )
     record(
         "table3",
         "Table III (adaptive attacks)",
-        [row.as_dict() for row in run_adaptive_evaluation(context)],
+        [row.as_dict() for row in run_adaptive_evaluation(context, exact=exact)],
     )
     record(
         "table4",
         "Table IV (PGD)",
-        [row.as_dict() for row in run_pgd_evaluation(context)],
+        [row.as_dict() for row in run_pgd_evaluation(context, exact=exact)],
     )
     record(
         "table5",
         "Table V (adversarial training vs adaptive attacks)",
-        [row.as_dict() for row in run_advtrain_evaluation(context)],
+        [row.as_dict() for row in run_advtrain_evaluation(context, exact=exact)],
     )
 
     figure1 = figure1_input_spectra(context)
@@ -129,6 +142,11 @@ def run_all(profile: Optional[ExperimentProfile] = None, output_dir: Optional[Pa
         "Sharded serving (single shared queue vs per-variant shards, mixed traffic)",
         run_sharded_serving_evaluation(context),
     )
+    record(
+        "serving_process",
+        "Process vs thread shard replicas (idle and busy parent interpreter)",
+        run_process_serving_evaluation(context),
+    )
     return results
 
 
@@ -147,10 +165,19 @@ def main(argv: Optional[List[str]] = None) -> None:
         default=None,
         help="directory for JSON results (default: results/<profile>)",
     )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="evaluate on the float64 autodiff forward instead of the compiled engine",
+    )
     arguments = parser.parse_args(argv)
     profile = PROFILES[arguments.profile]()
     print(profile.describe())
-    run_all(profile, Path(arguments.output_dir) if arguments.output_dir else None)
+    run_all(
+        profile,
+        Path(arguments.output_dir) if arguments.output_dir else None,
+        exact=arguments.exact,
+    )
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from ..serve.server import BatchedServer, InferenceServer
 from ..serve.shard import ShardedServer
 from ..serve.traffic import (
     ThroughputReport,
+    coresident_interpreter_load,
     generate_mixed_requests,
     generate_requests,
     run_load,
@@ -43,7 +44,12 @@ from ..serve.traffic import (
 )
 from .context import ExperimentContext
 
-__all__ = ["ServingRow", "run_serving_evaluation", "run_sharded_serving_evaluation"]
+__all__ = [
+    "ServingRow",
+    "run_serving_evaluation",
+    "run_sharded_serving_evaluation",
+    "run_process_serving_evaluation",
+]
 
 
 @dataclass
@@ -205,4 +211,93 @@ def run_sharded_serving_evaluation(
             report.images_per_second / max(single_ips, 1e-9), 2
         )
         rows.append(row)
+    return rows
+
+
+def run_process_serving_evaluation(
+    context: ExperimentContext,
+    models: Sequence[str] = ("baseline", "input_filter_3x3", "feature_filter_3x3"),
+    passes: int = 2,
+    max_batch_size: int = 32,
+    coresident_threads: int = 3,
+) -> List[Dict[str, object]]:
+    """Race thread-mode against process-mode shard replicas on mixed traffic.
+
+    Thread-mode replicas share the parent's GIL: with the interpreter
+    otherwise idle they run close to compute-bound (every heavy NumPy op
+    releases the lock), but any interpreter-resident work -- the asyncio
+    front-end, metric aggregation, an analysis loop -- preempts them at
+    every op boundary and serving collapses.  Process-mode replicas
+    (:class:`~repro.serve.procshard.ProcessReplica`) compile their own
+    engine from the registry's ``.npz`` snapshot and only compete for CPU
+    through the OS scheduler.
+
+    Four rows measure that contrast on one mixed multi-variant stream:
+    both modes with the parent idle, then both modes with
+    ``coresident_threads`` busy interpreter threads
+    (:func:`~repro.serve.traffic.coresident_interpreter_load`).  Caches
+    are disabled so the comparison isolates scheduling + forward cost.
+    Each row carries ``speedup_process_vs_thread`` (filled on process
+    rows).
+
+    The baseline variant reuses the context's trained classifier; the
+    other variants are served with untrained weights, which leaves the
+    per-forward cost (the quantity under test) unchanged.
+    """
+
+    registry = ModelRegistry(
+        None, image_size=context.profile.image_size, seed=context.profile.seed
+    )
+    registry.add("baseline", context.get_baseline(), persist=False)
+    for name in models:
+        if name not in registry.loaded():
+            registry.add(
+                name,
+                build_variant(
+                    resolve_variant(name),
+                    seed=context.profile.seed,
+                    image_size=context.profile.image_size,
+                ),
+                persist=False,
+            )
+
+    pool = context.test_set.images
+    num_requests = len(models) * len(pool) * passes
+    stream = generate_mixed_requests(
+        pool, num_requests, list(models), duplicate_fraction=0.0, seed=context.profile.seed
+    )
+
+    def measure(mode: str, busy_threads: int, label: str) -> ThroughputReport:
+        server = ShardedServer(
+            registry,
+            list(models),
+            replicas=1,
+            max_batch_size=max_batch_size,
+            cache_size=0,
+            mode=mode,
+        )
+        with server:
+            run_load(server, stream[: len(models) * max_batch_size], label="warm")
+            with coresident_interpreter_load(busy_threads):
+                return run_load(server, stream, label=label)
+
+    pairs = []
+    for busy_threads, suffix in ((0, "idle_interpreter"), (coresident_threads, "busy_interpreter")):
+        thread_report = measure("thread", busy_threads, f"sharded[thread,{suffix}]")
+        process_report = measure("process", busy_threads, f"sharded[process,{suffix}]")
+        pairs.append((thread_report, process_report))
+
+    rows: List[Dict[str, object]] = []
+    for thread_report, process_report in pairs:
+        ratio = process_report.images_per_second / max(
+            thread_report.images_per_second, 1e-9
+        )
+        for report, speedup in ((thread_report, None), (process_report, round(ratio, 2))):
+            row = report.as_dict()
+            row["models"] = len(models)
+            row["coresident_threads"] = (
+                0 if "idle_interpreter" in report.label else coresident_threads
+            )
+            row["speedup_process_vs_thread"] = speedup
+            rows.append(row)
     return rows

@@ -71,8 +71,13 @@ def attack_sweep(
     target_classes: Sequence[int],
     attack_factory=None,
     cache_tag: Optional[str] = "whitebox",
+    exact: bool = False,
 ) -> WhiteboxRow:
     """Run an RP2 target-class sweep against one classifier.
+
+    Attack generation differentiates through the model (float64 autodiff);
+    the clean/adversarial/held-out *evaluations* are pure inference and run
+    on the compiled :func:`~repro.nn.inference.cached_engine` by default.
 
     Parameters
     ----------
@@ -88,13 +93,15 @@ def attack_sweep(
         the plain white-box RP2 attack.
     cache_tag:
         Sweeps are memoized in ``context.sweep_cache`` under
-        ``(model name, cache_tag, targets)``; pass ``None`` to disable
-        memoization.
+        ``(model name, cache_tag, targets, exact)``; pass ``None`` to
+        disable memoization.
+    exact:
+        Pass true to run the evaluations on the float64 autodiff forward.
     """
 
     cache_key = None
     if cache_tag is not None:
-        cache_key = (classifier.name, cache_tag, tuple(target_classes))
+        cache_key = (classifier.name, cache_tag, tuple(target_classes), exact)
         cached = context.sweep_cache.get(cache_key)
         if cached is not None:
             return cached
@@ -102,7 +109,7 @@ def attack_sweep(
     profile = context.profile
     evaluation = context.eval_set
     masks = context.sticker_masks
-    clean_predictions = classifier.predict(evaluation.images)
+    clean_predictions = classifier.predict(evaluation.images, exact=exact)
 
     per_target_success: Dict[int, float] = {}
     per_target_dissimilarity: Dict[int, float] = {}
@@ -112,7 +119,7 @@ def attack_sweep(
         else:
             attack = attack_factory(classifier.model, target)
         result = attack.generate(evaluation.images, masks, target)
-        adversarial_predictions = classifier.predict(result.adversarial_images)
+        adversarial_predictions = classifier.predict(result.adversarial_images, exact=exact)
         per_target_success[target] = attack_success_rate(
             clean_predictions, adversarial_predictions
         )
@@ -125,7 +132,7 @@ def attack_sweep(
     row = WhiteboxRow(
         model_name=classifier.name,
         alpha=classifier.config.alpha,
-        legitimate_accuracy=classifier.evaluate(context.test_set),
+        legitimate_accuracy=classifier.evaluate(context.test_set, exact=exact),
         average_success_rate=float(np.mean(success_values)),
         worst_success_rate=float(np.max(success_values)),
         dissimilarity=float(np.mean(dissimilarity_values)),
@@ -140,8 +147,13 @@ def attack_sweep(
 def run_whitebox_evaluation(
     context: Optional[ExperimentContext] = None,
     model_names: Optional[Sequence[str]] = None,
+    exact: bool = False,
 ) -> List[WhiteboxRow]:
-    """Run the Table II sweep for every (or a subset of) defense variants."""
+    """Run the Table II sweep for every (or a subset of) defense variants.
+
+    Evaluations run on the compiled engine by default (``exact=True`` opts
+    back into the float64 forward); attack generation is always autodiff.
+    """
 
     context = context if context is not None else get_context()
     configs = context.table2_configs()
@@ -150,7 +162,9 @@ def run_whitebox_evaluation(
     rows: List[WhiteboxRow] = []
     for name, config in configs.items():
         classifier = context.get_model(config)
-        rows.append(attack_sweep(classifier, context, context.profile.target_classes))
+        rows.append(
+            attack_sweep(classifier, context, context.profile.target_classes, exact=exact)
+        )
     return rows
 
 

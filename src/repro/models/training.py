@@ -87,32 +87,63 @@ class TrainingHistory:
         return self.accuracies[-1] if self.accuracies else 0.0
 
 
-def predict_logits(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    """Run inference and return raw logits as a plain NumPy array."""
+def predict_logits(
+    model: Sequential, images: np.ndarray, batch_size: int = 128, *, exact: bool = True
+) -> np.ndarray:
+    """Run inference and return raw logits as a plain NumPy array.
 
+    Logits are the raw-precision API, so the default is the exact float64
+    ``no_grad`` forward.  Pass ``exact=False`` to run the compiled float32
+    :func:`~repro.nn.inference.cached_engine` fast path instead (several
+    times faster; logits agree within float32 tolerance).
+    """
+
+    if not exact:
+        from ..nn.inference import cached_engine
+
+        return cached_engine(model).predict_logits(images, min(batch_size, 32))
     from ..nn.inference import batched_forward
 
     return batched_forward(model, images, batch_size)
 
 
-def predict_classes(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    """Arg-max class predictions for a batch of images."""
+def predict_classes(
+    model: Sequential, images: np.ndarray, batch_size: int = 128, *, exact: bool = False
+) -> np.ndarray:
+    """Arg-max class predictions for a batch of images.
 
-    return predict_logits(model, images, batch_size).argmax(axis=-1)
+    Runs on the compiled float32 engine by default (arg-max decisions are
+    insensitive to the float32 rounding); pass ``exact=True`` for the
+    float64 autodiff forward.
+    """
+
+    return predict_logits(model, images, batch_size, exact=exact).argmax(axis=-1)
 
 
-def predict_proba(model: Sequential, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    """Softmax class probabilities for a batch of images, computed in chunks."""
+def predict_proba(
+    model: Sequential, images: np.ndarray, batch_size: int = 128, *, exact: bool = False
+) -> np.ndarray:
+    """Softmax class probabilities for a batch of images, computed in chunks.
+
+    Runs on the compiled float32 engine by default; pass ``exact=True``
+    for bit-faithful float64 probabilities.
+    """
 
     from ..nn.inference import softmax_probabilities
 
-    return softmax_probabilities(predict_logits(model, images, batch_size))
+    return softmax_probabilities(predict_logits(model, images, batch_size, exact=exact))
 
 
-def evaluate_accuracy(model: Sequential, dataset: SignDataset, batch_size: int = 128) -> float:
-    """Classification accuracy of ``model`` on ``dataset``."""
+def evaluate_accuracy(
+    model: Sequential, dataset: SignDataset, batch_size: int = 128, *, exact: bool = False
+) -> float:
+    """Classification accuracy of ``model`` on ``dataset``.
 
-    logits = predict_logits(model, dataset.images, batch_size)
+    Accuracy is an arg-max statistic, so the compiled engine is used by
+    default; pass ``exact=True`` to force the float64 forward.
+    """
+
+    logits = predict_logits(model, dataset.images, batch_size, exact=exact)
     return accuracy(logits, dataset.labels)
 
 

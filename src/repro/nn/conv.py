@@ -135,7 +135,10 @@ def conv2d(
     cols_matrix = cols.reshape(batch, in_channels * kernel * kernel, out_h * out_w)
     weight_matrix = weight.data.reshape(out_channels, in_channels * kernel * kernel)
 
-    output = np.einsum("ok,nkp->nop", weight_matrix, cols_matrix)
+    # All three contractions of the conv (forward, grad-weight, grad-input)
+    # are batched matrix products, so route them through BLAS via
+    # ``np.matmul`` -- several times faster than the equivalent einsum.
+    output = np.matmul(weight_matrix, cols_matrix)
     output = output.reshape(batch, out_channels, out_h, out_w)
     if bias is not None:
         output = output + bias.data.reshape(1, out_channels, 1, 1)
@@ -145,12 +148,14 @@ def conv2d(
     def backward(out: Tensor) -> None:
         grad_output = out.grad.reshape(batch, out_channels, out_h * out_w)
         if weight.requires_grad:
-            grad_weight = np.einsum("nop,nkp->ok", grad_output, cols_matrix)
+            grad_weight = np.matmul(
+                grad_output, cols_matrix.transpose(0, 2, 1)
+            ).sum(axis=0)
             weight._accumulate(grad_weight.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
         if inputs.requires_grad:
-            grad_cols = np.einsum("ok,nop->nkp", weight_matrix, grad_output)
+            grad_cols = np.matmul(weight_matrix.T, grad_output)
             grad_cols = grad_cols.reshape(batch, in_channels, kernel, kernel, out_h, out_w)
             inputs._accumulate(
                 col2im(grad_cols, inputs.shape, kernel, stride, padding)

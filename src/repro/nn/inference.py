@@ -1,32 +1,42 @@
 """Batched ``no_grad`` inference helpers and the compiled inference engine.
 
 Training and attack code run the autodiff forward pass (float64 tensors, a
-graph node per operation).  Serving does not need gradients, so this module
-provides two progressively faster ways to run pure inference:
+graph node per operation).  Gradient-free work does not need any of that,
+so this module provides two progressively faster ways to run pure
+inference:
 
 * :func:`batched_forward` -- chunk a large input through the regular
   :class:`~repro.nn.layers.Sequential` forward under ``no_grad`` with
   bounded peak memory.  Exact same arithmetic as training-time inference.
 * :class:`InferenceEngine` -- a *compiled* forward pass: the layer sequence
   is lowered once into a list of closures over float32 copies of the
-  weights, convolutions become a single BLAS matmul over sliding-window
-  views, and no autodiff graph is built.  This is the hot path of
-  :mod:`repro.serve` and is several times faster than the tensor forward at
-  equal batch size.
+  weights.  Convolutions become a single BLAS matmul over an im2col
+  lowering, the whole pipeline runs in NHWC layout (so conv outputs need no
+  transpose copy), bias-add and a following ReLU are fused in place on the
+  matmul result, and every large intermediate (padded inputs, im2col
+  patches, layer outputs) lives in a preallocated per-thread workspace that
+  is reused across calls -- the hot loop allocates nothing after the first
+  batch of a given shape.
 
 The engine snapshots the model's parameters at compile time; call
-:meth:`InferenceEngine.refresh` after mutating weights (e.g. after loading
-a new state dict into the same model object).
+:meth:`InferenceEngine.refresh` after mutating weights in place.  Code that
+does not want to manage engine lifetimes should use :func:`cached_engine`,
+which keeps one compiled engine per model and recompiles automatically when
+the model's parameter arrays are *replaced* (an optimizer step, a
+state-dict load) -- see :func:`weights_fingerprint` for the staleness rule.
 
-Thread-safety: a compiled engine holds no mutable per-call state, so
-:meth:`InferenceEngine.forward`/``predict*`` may run concurrently from
-several threads (the serving shards rely on this); :meth:`refresh` is the
-only mutating operation and must not race in-flight forwards.
+Thread-safety: a compiled engine holds no shared mutable per-call state --
+workspace buffers are per-thread -- so :meth:`InferenceEngine.forward` /
+``predict*`` may run concurrently from several threads (the serving shards
+rely on this); :meth:`refresh` is the only mutating operation and must not
+race in-flight forwards.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import threading
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +60,9 @@ __all__ = [
     "softmax_probabilities",
     "InferenceEngine",
     "compile_inference",
+    "cached_engine",
+    "invalidate_cached_engine",
+    "weights_fingerprint",
 ]
 
 
@@ -87,18 +100,82 @@ def batched_predict_proba(
     return softmax_probabilities(batched_forward(model, images, batch_size))
 
 
-def _sliding_windows(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
-    """Return ``(N, C, out_h, out_w, K, K)`` sliding windows of an NCHW array."""
+#: A compiled layer op: ``op(x, buffers) -> y`` where ``buffers`` is the
+#: calling thread's workspace dictionary.
+_Op = Callable[[np.ndarray, Dict[object, np.ndarray]], np.ndarray]
 
-    if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+
+def _workspace(
+    buffers: Dict[object, np.ndarray], key: object, shape: Tuple[int, ...], dtype: np.dtype
+) -> np.ndarray:
+    """Return a reusable scratch array of ``shape`` from this thread's pool.
+
+    Buffers are keyed per compiled op, so consecutive layers never alias;
+    a shape change (e.g. the last partial chunk of a stream) replaces the
+    buffer for that op.
+    """
+
+    buffer = buffers.get(key)
+    if buffer is None or buffer.shape != shape:
+        buffer = np.empty(shape, dtype)
+        buffers[key] = buffer
+    return buffer
+
+
+def _pad_nhwc(
+    x: np.ndarray,
+    pad: int,
+    buffers: Dict[object, np.ndarray],
+    key: object,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NHWC array into a reused buffer."""
+
+    if not pad:
+        return x
+    batch, height, width, channels = x.shape
+    padded = _workspace(
+        buffers, key, (batch, height + 2 * pad, width + 2 * pad, channels), dtype
+    )
+    padded[:, :pad].fill(0.0)
+    padded[:, -pad:].fill(0.0)
+    padded[:, pad:-pad, :pad].fill(0.0)
+    padded[:, pad:-pad, -pad:].fill(0.0)
+    padded[:, pad : pad + height, pad : pad + width] = x
+    return padded
+
+
+def _pad_spatial(
+    x: np.ndarray,
+    axes: Tuple[int, int],
+    pad: int,
+    buffers: Dict[object, np.ndarray],
+    key: object,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Zero-pad two arbitrary spatial axes of ``x`` into a reused buffer."""
+
+    if not pad:
+        return x
+    shape = list(x.shape)
+    shape[axes[0]] += 2 * pad
+    shape[axes[1]] += 2 * pad
+    padded = _workspace(buffers, key, tuple(shape), dtype)
+    padded.fill(0.0)
+    interior: List[slice] = [slice(None)] * x.ndim
+    interior[axes[0]] = slice(pad, pad + x.shape[axes[0]])
+    interior[axes[1]] = slice(pad, pad + x.shape[axes[1]])
+    padded[tuple(interior)] = x
+    return padded
+
+
+def _nhwc_windows(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """``(N, out_h, out_w, C, K, K)`` sliding windows of an NHWC array."""
+
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(1, 2))
     if stride != 1:
-        windows = windows[:, :, ::stride, ::stride]
+        windows = windows[:, ::stride, ::stride]
     return windows
-
-
-_Op = Callable[[np.ndarray], np.ndarray]
 
 
 class InferenceEngine:
@@ -111,9 +188,21 @@ class InferenceEngine:
     unrecognized layer falls back to its exact tensor forward, so the
     engine never changes semantics -- only speed and dtype (float32).
 
-    Execution is thread-safe (the compiled ops are pure functions over
-    frozen weight snapshots); :meth:`refresh` is not and must be called
-    while no forwards are in flight.
+    Three compile-time optimizations make this the hot path of both
+    :mod:`repro.serve` and the gradient-free experiment evaluations:
+
+    * **NHWC pipeline** -- all spatial intermediates are channel-last, so
+      the im2col patch gather is a straight contiguous copy and the conv
+      matmul result *is* the next layer's input (no transpose copies).
+    * **Fused conv+bias+ReLU** -- a ReLU directly following a convolution
+      or dense layer is folded into the matmul epilogue in place.
+    * **Workspace reuse** -- padded inputs, patch matrices and outputs are
+      preallocated per thread and reused across calls, keyed by input
+      shape; steady-state forwards allocate nothing.
+
+    Execution is thread-safe (workspaces are per-thread; the weight
+    snapshots are frozen); :meth:`refresh` is not and must be called while
+    no forwards are in flight.
 
     Parameters
     ----------
@@ -125,10 +214,28 @@ class InferenceEngine:
     """
 
     def __init__(self, model: Sequential, dtype: np.dtype = np.float32) -> None:
-        self.model = model
+        # The model is held weakly: the compiled ops own float32 snapshots
+        # of the weights, so the engine stays usable after the model is
+        # garbage-collected (only refresh() needs the live model).  This
+        # also lets the cached_engine registry drop entries for dead
+        # models instead of keeping every model ever compiled alive.
+        self._model_ref = weakref.ref(model)
         self.dtype = np.dtype(dtype)
         self._ops: List[_Op] = []
+        self._local = threading.local()
         self.refresh()
+
+    @property
+    def model(self) -> Sequential:
+        """The compiled model (weakly referenced; raises once collected)."""
+
+        model = self._model_ref()
+        if model is None:
+            raise RuntimeError(
+                "the model behind this engine has been garbage-collected; "
+                "compiled forwards still work but refresh() is impossible"
+            )
+        return model
 
     # ------------------------------------------------------------------
     # Compilation
@@ -137,9 +244,19 @@ class InferenceEngine:
         """Re-snapshot the model's weights and rebuild the compiled ops."""
 
         self.model.eval()
-        self._ops = []
-        for layer in self._flatten(self.model):
-            self._ops.append(self._compile_layer(layer))
+        layers = self._flatten(self.model)
+        ops: List[_Op] = []
+        index = 0
+        while index < len(layers):
+            layer = layers[index]
+            fuse_relu = (
+                isinstance(layer, (Conv2D, Dense))
+                and index + 1 < len(layers)
+                and isinstance(layers[index + 1], ReLU)
+            )
+            ops.append(self._compile_layer(layer, len(ops), fuse_relu))
+            index += 2 if fuse_relu else 1
+        self._ops = ops
         return self
 
     @staticmethod
@@ -152,25 +269,43 @@ class InferenceEngine:
                 layers.append(layer)
         return layers
 
-    def _compile_layer(self, layer: Layer) -> _Op:
+    def _compile_layer(self, layer: Layer, index: int, fuse_relu: bool) -> _Op:
         dtype = self.dtype
 
         if isinstance(layer, Conv2D):
             kernel, stride, pad = layer.kernel_size, layer.stride, layer.padding
             out_channels = layer.out_channels
-            # (C_in*K*K, C_out) so the contraction is one BLAS matmul.
+            # (K*K*C_in, C_out): patch rows flatten in (KH, KW, C) order --
+            # channels innermost -- so the im2col gather below copies
+            # contiguous C-length runs (the (C, K, K) order would leave no
+            # contiguous run at all) and the contraction is one BLAS
+            # matmul against this row-permuted weight.
             weight = np.ascontiguousarray(
-                layer.weight.data.reshape(out_channels, -1).T, dtype=dtype
+                layer.weight.data.transpose(2, 3, 1, 0).reshape(-1, out_channels),
+                dtype=dtype,
             )
             bias = layer.bias.data.astype(dtype)
 
-            def conv_op(x: np.ndarray) -> np.ndarray:
-                windows = _sliding_windows(x, kernel, stride, pad)
-                batch, _channels, out_h, out_w = windows.shape[:4]
-                # (N, OH, OW, C, K, K) row-major patches match the weight layout.
-                patches = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
-                flat = patches.reshape(batch * out_h * out_w, -1) @ weight + bias
-                return flat.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+            def conv_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+                padded = _pad_nhwc(x, pad, buffers, (index, "pad"), dtype)
+                windows = _nhwc_windows(padded, kernel, stride)
+                batch, out_h, out_w = windows.shape[:3]
+                # (N, OH, OW, C, KH, KW) view -> (N, OH, OW, KH, KW, C)
+                # gather: source and destination both run C floats at a time.
+                windows = windows.transpose(0, 1, 2, 4, 5, 3)
+                patches = _workspace(
+                    buffers, (index, "patches"), windows.shape, dtype
+                )
+                np.copyto(patches, windows)
+                flat = patches.reshape(batch * out_h * out_w, -1)
+                out = _workspace(
+                    buffers, (index, "out"), (flat.shape[0], out_channels), dtype
+                )
+                np.matmul(flat, weight, out=out)
+                out += bias
+                if fuse_relu:
+                    np.maximum(out, 0.0, out=out)
+                return out.reshape(batch, out_h, out_w, out_channels)
 
             return conv_op
 
@@ -189,65 +324,194 @@ class InferenceEngine:
         ):
             kernel = layer.kernel_size
             pad = layer.padding
-            depthwise_weight = weight_tensor.data.astype(dtype)
+            channels = weight_tensor.data.shape[0]
+            # One tap vector per kernel offset: the depthwise convolution
+            # becomes K*K shift-multiply-accumulate passes over contiguous
+            # memory (much faster than contracting a strided 6-D window
+            # view).  Wide feature maps run directly in the engine's NHWC
+            # layout; narrow ones (the RGB input blur) would leave only
+            # C-element contiguous runs there, so they hop to channels-first
+            # for the passes -- two small layout copies buy fully
+            # vectorized inner loops.
+            channels_first = channels < 8
+            taps = [
+                (
+                    row,
+                    col,
+                    weight_tensor.data[:, row, col]
+                    .astype(dtype)
+                    .reshape((channels, 1, 1) if channels_first else (channels,)),
+                )
+                for row in range(layer.kernel_size)
+                for col in range(layer.kernel_size)
+            ]
 
-            def depthwise_op(x: np.ndarray) -> np.ndarray:
-                windows = _sliding_windows(x, kernel, 1, pad)
-                return np.einsum(
-                    "nchwkl,ckl->nchw", windows, depthwise_weight, optimize=True
-                ).astype(dtype, copy=False)
+            def depthwise_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+                batch, height, width, _ = x.shape
+                if channels_first:
+                    planar = _workspace(
+                        buffers, (index, "nchw"), (batch, channels, height, width), dtype
+                    )
+                    np.copyto(planar, x.transpose(0, 3, 1, 2))
+                    source = planar
+                    spatial = (2, 3)
+                else:
+                    source = x
+                    spatial = (1, 2)
+                padded = _pad_spatial(
+                    source, spatial, pad, buffers, (index, "pad"), dtype
+                )
+                out_h = padded.shape[spatial[0]] - kernel + 1
+                out_w = padded.shape[spatial[1]] - kernel + 1
+                if channels_first:
+                    shape = (batch, channels, out_h, out_w)
+                else:
+                    shape = (batch, out_h, out_w, channels)
+                out = _workspace(buffers, (index, "out"), shape, dtype)
+                scratch = _workspace(buffers, (index, "tmp"), shape, dtype)
+                for position, (row, col, tap) in enumerate(taps):
+                    if channels_first:
+                        shifted = padded[:, :, row : row + out_h, col : col + out_w]
+                    else:
+                        shifted = padded[:, row : row + out_h, col : col + out_w]
+                    if position == 0:
+                        np.multiply(shifted, tap, out=out)
+                    else:
+                        np.multiply(shifted, tap, out=scratch)
+                        out += scratch
+                if channels_first:
+                    back = _workspace(
+                        buffers, (index, "nhwc"), (batch, out_h, out_w, channels), dtype
+                    )
+                    np.copyto(back, out.transpose(0, 2, 3, 1))
+                    return back
+                return out
 
             return depthwise_op
 
         if isinstance(layer, ReLU):
-            return lambda x: np.maximum(x, 0.0)
+            # Standalone ReLU (not folded into a conv/dense epilogue): the
+            # input is always an engine-owned workspace, so clip in place.
+            def relu_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+                return np.maximum(x, 0.0, out=x)
+
+            return relu_op
 
         if isinstance(layer, (MaxPool2D, AvgPool2D)):
             kernel, stride = layer.kernel_size, layer.stride
             take_max = isinstance(layer, MaxPool2D)
 
-            def pool_op(x: np.ndarray) -> np.ndarray:
-                batch, channels, height, width = x.shape
+            def pool_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+                batch, height, width, channels = x.shape
                 if stride == kernel and height % kernel == 0 and width % kernel == 0:
-                    tiles = x.reshape(
-                        batch, channels, height // kernel, kernel, width // kernel, kernel
+                    # Non-overlapping windows: reduce K*K strided shifts of
+                    # the input pairwise instead of a multi-axis reduction
+                    # over a 6-D reshape (several times faster).
+                    out = _workspace(
+                        buffers,
+                        (index, "out"),
+                        (batch, height // kernel, width // kernel, channels),
+                        dtype,
                     )
-                    return tiles.max(axis=(3, 5)) if take_max else tiles.mean(axis=(3, 5))
-                windows = _sliding_windows(x, kernel, stride, 0)
+                    shifts = [
+                        x[:, row::kernel, col::kernel]
+                        for row in range(kernel)
+                        for col in range(kernel)
+                    ]
+                    np.copyto(out, shifts[0])
+                    for shifted in shifts[1:]:
+                        if take_max:
+                            np.maximum(out, shifted, out=out)
+                        else:
+                            np.add(out, shifted, out=out)
+                    if not take_max:
+                        out *= 1.0 / (kernel * kernel)
+                    return out
+                windows = _nhwc_windows(x, kernel, stride)
                 return windows.max(axis=(4, 5)) if take_max else windows.mean(axis=(4, 5))
 
             return pool_op
 
         if isinstance(layer, Flatten):
-            return lambda x: x.reshape(x.shape[0], -1)
+            # The engine runs NHWC internally but dense weights were trained
+            # against the NCHW flatten order, so restore it here (the final
+            # feature map is small -- this is the only layout copy besides
+            # the input conversion).
+            def flatten_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+                if x.ndim == 2:
+                    return x
+                batch, height, width, channels = x.shape
+                out = _workspace(
+                    buffers, (index, "flat"), (batch, channels, height, width), dtype
+                )
+                np.copyto(out, x.transpose(0, 3, 1, 2))
+                return out.reshape(batch, -1)
+
+            return flatten_op
 
         if isinstance(layer, Dropout):
-            return lambda x: x  # identity in eval mode
+            return lambda x, buffers: x  # identity in eval mode
 
         if isinstance(layer, Dense):
             dense_weight = layer.weight.data.astype(dtype)
             dense_bias = layer.bias.data.astype(dtype)
-            return lambda x: x @ dense_weight + dense_bias
 
-        # Unknown layer: exact tensor fallback (float64 round trip).
-        def fallback_op(x: np.ndarray) -> np.ndarray:
+            def dense_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+                out = _workspace(
+                    buffers, (index, "out"), (x.shape[0], dense_weight.shape[1]), dtype
+                )
+                np.matmul(x, dense_weight, out=out)
+                out += dense_bias
+                if fuse_relu:
+                    np.maximum(out, 0.0, out=out)
+                return out
+
+            return dense_op
+
+        # Unknown layer: exact tensor fallback (float64 round trip, NCHW).
+        def fallback_op(x: np.ndarray, buffers: Dict[object, np.ndarray]) -> np.ndarray:
+            if x.ndim == 4:
+                x = x.transpose(0, 3, 1, 2)
             with no_grad():
-                return layer(Tensor(np.asarray(x, dtype=np.float64))).data.astype(dtype)
+                result = layer(Tensor(np.asarray(x, dtype=np.float64))).data
+            result = result.astype(dtype)
+            if result.ndim == 4:
+                result = np.ascontiguousarray(result.transpose(0, 2, 3, 1))
+            return result
 
         return fallback_op
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def forward(self, images: np.ndarray) -> np.ndarray:
-        """Run one compiled forward pass; returns logits for the whole batch."""
+    def _buffers(self) -> Dict[object, np.ndarray]:
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._local.buffers = buffers
+        return buffers
 
-        x = np.ascontiguousarray(images, dtype=self.dtype)
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Run one compiled forward pass; returns logits for the whole batch.
+
+        The result is a fresh array (never a view of the reusable
+        workspace), so callers may hold it across subsequent forwards.
+        """
+
+        x = np.asarray(images, dtype=self.dtype)
         if x.ndim == 3:
             x = x[None]
+        buffers = self._buffers()
+        if x.ndim == 4:
+            # NCHW -> NHWC entry conversion (the one unavoidable layout copy).
+            entry = _workspace(
+                buffers, "entry", (x.shape[0], x.shape[2], x.shape[3], x.shape[1]), self.dtype
+            )
+            np.copyto(entry, x.transpose(0, 2, 3, 1))
+            x = entry
         for op in self._ops:
-            x = op(x)
-        return x
+            x = op(x, buffers)
+        return np.array(x, dtype=self.dtype)
 
     def predict_logits(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Logits for ``images`` computed in chunks of ``batch_size``."""
@@ -275,3 +539,86 @@ def compile_inference(model: Sequential, dtype: np.dtype = np.float32) -> Infere
     """Compile ``model`` into an :class:`InferenceEngine` (convenience wrapper)."""
 
     return InferenceEngine(model, dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# Per-model engine cache
+# ----------------------------------------------------------------------
+
+def weights_fingerprint(model: Sequential) -> Tuple[int, ...]:
+    """Advisory identity fingerprint of the model's current parameter arrays.
+
+    Every code path that replaces weights -- an optimizer step
+    (:meth:`repro.nn.optim.Adam.step` reassigns ``parameter.data``), a
+    state-dict load (:func:`repro.nn.serialization.load_state_dict` copies
+    into fresh arrays) -- changes the identity of at least one parameter
+    array, so comparing fingerprints detects staleness in O(#params) time
+    without touching the weight values.  Two caveats: ``id`` values can be
+    recycled after the old arrays are freed (which is why
+    :func:`cached_engine` validates with weak references to the arrays
+    themselves instead of this tuple), and *in-place* mutation
+    (``parameter.data[:] = ...``) is invisible to it -- call
+    :func:`invalidate_cached_engine` (or :meth:`InferenceEngine.refresh`)
+    after doing that.
+    """
+
+    return tuple(id(parameter.data) for parameter in model.parameters())
+
+
+_ENGINE_CACHE: "weakref.WeakKeyDictionary[Sequential, Tuple[Tuple[weakref.ref, ...], InferenceEngine]]" = (
+    weakref.WeakKeyDictionary()
+)
+_ENGINE_CACHE_LOCK = threading.Lock()
+
+
+def cached_engine(model: Sequential, dtype: np.dtype = np.float32) -> InferenceEngine:
+    """One shared compiled engine per model, recompiled when weights change.
+
+    This is the standard gradient-free execution path: the first call for a
+    model compiles an :class:`InferenceEngine` (float32 by default) and
+    caches it against the model object; later calls return the cached
+    engine after checking that every parameter array is *the same object*
+    it was compiled from (weak references, so recycled ``id`` values can
+    never cause a stale hit) -- a model that was trained further or had a
+    state dict loaded in the meantime is transparently recompiled.  The
+    cache holds only weak references to models and their arrays (the
+    engine itself references its model weakly too), so it never keeps a
+    model alive; entries for collected models evict themselves.
+
+    Callers that need a private engine, a different dtype, or manual
+    refresh control should construct :class:`InferenceEngine` directly.
+    """
+
+    dtype = np.dtype(dtype)
+    parameters = model.parameters()
+    with _ENGINE_CACHE_LOCK:
+        entry = _ENGINE_CACHE.get(model)
+        if entry is not None:
+            array_refs, engine = entry
+            if (
+                engine.dtype == dtype
+                and len(array_refs) == len(parameters)
+                and all(
+                    ref() is parameter.data
+                    for ref, parameter in zip(array_refs, parameters)
+                )
+            ):
+                return engine
+        engine = InferenceEngine(model, dtype=dtype)
+        _ENGINE_CACHE[model] = (
+            tuple(weakref.ref(parameter.data) for parameter in parameters),
+            engine,
+        )
+        return engine
+
+
+def invalidate_cached_engine(model: Sequential) -> None:
+    """Drop the cached compiled engine of ``model`` (if any).
+
+    Needed only after *in-place* weight mutation, which
+    :func:`weights_fingerprint` cannot see; array-replacing updates
+    (optimizer steps, state-dict loads) invalidate automatically.
+    """
+
+    with _ENGINE_CACHE_LOCK:
+        _ENGINE_CACHE.pop(model, None)

@@ -16,6 +16,10 @@ workload:
   per-variant worker shards (each a pinned :class:`BatchedServer` with its
   own scheduler and cache), replicas, and pluggable round-robin /
   least-loaded routing;
+* :class:`~repro.serve.procshard.ProcessReplica` -- ``mode="process"``
+  shard replicas: worker *processes* compiled from the registry's
+  :class:`~repro.serve.registry.ModelSnapshot`, batched pipe IPC, true
+  parallel forwards (no shared GIL);
 * :class:`~repro.serve.frontend.SocketFrontend` -- non-blocking asyncio
   socket front-end speaking length-prefixed JSON / ``.npy`` frames, with
   :class:`~repro.serve.frontend.SocketClient` as the matching client;
@@ -40,7 +44,8 @@ for how the pieces fit the rest of the repo.
 from .batching import MicroBatcher, QueuedRequest
 from .cache import PredictionCache, image_fingerprint
 from .frontend import SocketClient, SocketFrontend
-from .registry import ModelRegistry
+from .procshard import ProcessReplica
+from .registry import ModelRegistry, ModelSnapshot, classifier_from_snapshot
 from .server import BatchedServer, InferenceServer
 from .shard import (
     LeastLoadedPolicy,
@@ -51,6 +56,7 @@ from .shard import (
 )
 from .traffic import (
     ThroughputReport,
+    coresident_interpreter_load,
     generate_mixed_requests,
     generate_requests,
     run_load,
@@ -66,10 +72,13 @@ from .types import (
 
 __all__ = [
     "ModelRegistry",
+    "ModelSnapshot",
+    "classifier_from_snapshot",
     "BatchedServer",
     "InferenceServer",
     "ShardedServer",
     "ShardReplica",
+    "ProcessReplica",
     "RoutingPolicy",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
@@ -89,4 +98,5 @@ __all__ = [
     "synthetic_image_pool",
     "run_load",
     "run_naive_loop",
+    "coresident_interpreter_load",
 ]

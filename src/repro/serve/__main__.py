@@ -157,7 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler wait for stragglers in thread mode (default: 2 ms)",
     )
     parser.add_argument(
-        "--mode", choices=("thread", "sync"), default="thread", help="scheduler mode"
+        "--mode",
+        choices=("thread", "sync", "process"),
+        default="thread",
+        help="replica mode: thread/sync schedulers, or process workers "
+        "(sharded only; each replica is an OS process with its own engine)",
     )
     parser.add_argument(
         "--cache-size",
@@ -233,8 +237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(f"--replicas must be positive, got {arguments.replicas}")
     # Validate flag combinations before model resolution: training variants
     # is the expensive step and must not run for an invalid command line.
-    if arguments.port is not None and arguments.mode != "thread":
-        raise SystemExit("--port requires --mode thread")
+    if arguments.port is not None and arguments.mode == "sync":
+        raise SystemExit("--port requires --mode thread or --mode process")
+    if arguments.mode == "process" and arguments.shards is None:
+        raise SystemExit("--mode process requires --shards (process workers are per-variant)")
     if arguments.compare_naive and arguments.shards is not None:
         raise SystemExit("--compare-naive only applies to single-model serving")
     if arguments.compare_single_queue and arguments.shards is None:
@@ -322,15 +328,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.compare_naive:
         reports.append(run_naive_loop(registry.get(models[0]), requests))
     if arguments.compare_single_queue:
+        # The single-queue reference server has no process mode; fall back
+        # to the thread scheduler for that comparison (and label the row
+        # with the mode that actually ran).
+        single_mode = "thread" if arguments.mode == "process" else arguments.mode
         single = BatchedServer(
             registry,
             max_batch_size=arguments.batch_size,
             max_wait_ms=arguments.max_wait_ms,
             cache_size=arguments.cache_size,
-            mode=arguments.mode,
+            mode=single_mode,
         )
         with single:
-            reports.append(run_load(single, requests, label=f"single_queue[{arguments.mode}]"))
+            reports.append(run_load(single, requests, label=f"single_queue[{single_mode}]"))
 
     label = (
         f"sharded[{arguments.mode},r{arguments.replicas},{arguments.routing}]"

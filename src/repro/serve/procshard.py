@@ -1,0 +1,549 @@
+"""Process-backed shard replicas: forwards that never share the parent's GIL.
+
+Thread-mode shard replicas (:class:`~repro.serve.server.BatchedServer`
+inside :class:`~repro.serve.shard.ShardedServer`) only overlap inside BLAS
+calls -- every per-request Python step (queue hops, future resolution,
+response construction) of every replica serializes on one interpreter
+lock.  A :class:`ProcessReplica` moves the model forward out of the parent
+interpreter entirely:
+
+* the worker is a separate OS **process**, spawned from a picklable
+  :class:`~repro.serve.registry.ModelSnapshot` (the registry's ``.npz``
+  weight payload); it rebuilds the classifier and compiles a private
+  :class:`~repro.nn.inference.InferenceEngine` on startup, sharing no
+  memory with the parent;
+* requests are coalesced **parent-side** and shipped as one message per
+  micro-batch over a duplex pipe (float32 image stack out, float32
+  probability matrix back), so IPC cost is paid per batch, not per
+  request;
+* batching is **busy-driven**: the first request of an idle replica is
+  dispatched immediately, and everything that arrives while the worker is
+  computing forms the next batch (up to ``max_batch_size``) -- burst
+  traffic coalesces into full batches with no straggler timer at all.
+
+The replica exposes the same surface as a shard-embedded
+:class:`~repro.serve.server.BatchedServer` (``submit``/``predict`` /
+``start``/``stop``/``restart``/``flush``/``warm``/``stats``/``alive``), so
+:class:`~repro.serve.shard.ShardedServer` embeds it unchanged under
+``mode="process"`` -- including transparent crash restart (a dead worker
+process is respawned and the stranded requests are re-dispatched) and
+graceful drain on ``stop()``.
+
+Thread-safety: ``submit`` may be called from any number of parent threads;
+replica state is guarded by one lock and the pipe is written only under
+it.  Lifecycle methods (``start``/``stop``/``restart``) belong to the
+owner.  Prediction caching runs parent-side with the same fingerprint
+semantics as the thread-mode server.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.signs import SIGN_CLASSES
+from .batching import QueuedRequest
+from .cache import PredictionCache, image_fingerprint
+from .registry import ModelSnapshot, classifier_from_snapshot
+from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
+
+__all__ = ["ProcessReplica", "worker_main"]
+
+#: Seconds a freshly spawned worker gets to rebuild its classifier and
+#: compile its engine before ``start()`` gives up.
+_READY_TIMEOUT = 120.0
+
+#: Seconds ``stop()`` waits for the worker process to exit after the
+#: shutdown sentinel before escalating to ``terminate()``.
+_JOIN_TIMEOUT = 10.0
+
+
+def worker_main(
+    snapshot: ModelSnapshot, connection, engine_batch_size: int = 32
+) -> None:
+    """Entry point of one shard worker process.
+
+    Rebuilds the classifier from the registry snapshot, compiles a private
+    inference engine (randomized-smoothing variants predict through their
+    vectorized Monte-Carlo vote instead), then answers ``("batch", id,
+    images)`` messages with ``("result", id, probabilities)`` until the
+    ``None`` shutdown sentinel (or a closed pipe) arrives.  Per-batch
+    failures are reported as ``("error", id, message)`` without killing
+    the worker.
+    """
+
+    try:
+        classifier = classifier_from_snapshot(snapshot)
+        engine = None
+        if classifier.smoother is None:
+            from ..nn.inference import cached_engine
+
+            engine = cached_engine(classifier.model)
+            warmup = np.zeros(
+                (1, 3, snapshot.image_size, snapshot.image_size), dtype=np.float32
+            )
+            engine.predict(warmup)
+        connection.send(("ready", os.getpid()))
+    except Exception as error:  # startup failure: report, then exit
+        try:
+            connection.send(("fatal", repr(error)))
+        except (OSError, BrokenPipeError):
+            pass
+        return
+
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        _kind, batch_id, images = message
+        try:
+            if engine is not None:
+                probabilities = engine.predict_proba(
+                    images, batch_size=engine_batch_size
+                )
+            else:
+                probabilities = classifier.predict_proba(
+                    np.asarray(images, dtype=np.float64)
+                )
+            connection.send(
+                ("result", batch_id, probabilities.astype(np.float32, copy=False))
+            )
+        except Exception as error:
+            try:
+                connection.send(("error", batch_id, repr(error)))
+            except (OSError, BrokenPipeError):
+                return
+
+
+class ProcessReplica:
+    """One shard replica whose batched forwards run in a worker process.
+
+    Drop-in peer of a shard-embedded
+    :class:`~repro.serve.server.BatchedServer`: same submit/lifecycle/stats
+    surface, but the model lives in a child process compiled from a
+    :class:`~repro.serve.registry.ModelSnapshot`, so its forward passes
+    run on a separate interpreter (true parallelism across cores, no GIL
+    sharing with the ingest path).
+
+    Parameters
+    ----------
+    snapshot_factory:
+        Zero-argument callable returning the
+        :class:`~repro.serve.registry.ModelSnapshot` to spawn workers
+        from; called at every (re)start so restarts pick up reloaded
+        weights.  Typically ``lambda: registry.snapshot(name)``.
+    max_batch_size:
+        Upper bound on requests folded into one worker round trip.
+    cache_size:
+        Parent-side LRU prediction-cache capacity; 0 disables caching.
+    class_names:
+        Human-readable class labels; defaults to the 18 LISA sign classes.
+    allowed_models:
+        When given, requests for other variants are rejected with
+        :class:`~repro.serve.types.UnknownModelError` at submit time.
+    shard_id:
+        Identifier stamped on every response this replica produces.
+    mp_context:
+        ``multiprocessing`` context to spawn workers with; defaults to
+        ``fork`` where available (cheapest startup) and ``spawn``
+        elsewhere.
+    engine_batch_size:
+        Chunk size of the worker-side engine forward.
+    """
+
+    def __init__(
+        self,
+        snapshot_factory: Callable[[], ModelSnapshot],
+        *,
+        max_batch_size: int = 32,
+        cache_size: int = 1024,
+        class_names: Optional[Sequence[str]] = None,
+        allowed_models: Optional[Sequence[str]] = None,
+        shard_id: Optional[str] = None,
+        mp_context=None,
+        engine_batch_size: int = 32,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        self.snapshot_factory = snapshot_factory
+        self.max_batch_size = max_batch_size
+        self.cache = PredictionCache(cache_size)
+        self.class_names = (
+            list(class_names) if class_names is not None else list(SIGN_CLASSES)
+        )
+        self.allowed_models = (
+            frozenset(allowed_models) if allowed_models is not None else None
+        )
+        self.shard_id = shard_id
+        self.engine_batch_size = engine_batch_size
+        self.stats = ServerStats()
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._ctx = mp_context
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._buffer: List[QueuedRequest] = []
+        self._inflight: Dict[int, List[QueuedRequest]] = {}
+        self._next_batch_id = 0
+        self._busy = False
+        self._running = False
+        self._worker_dead = False
+        self._process: Optional[mp.process.BaseProcess] = None
+        self._connection = None
+        self._receiver: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Scheduler mode of this replica: always ``"process"``."""
+
+        return "process"
+
+    @property
+    def alive(self) -> bool:
+        """Whether the replica can accept work right now.
+
+        True between :meth:`start` and :meth:`stop` while the worker
+        process is running; a crashed (or never-started) worker reports
+        ``False`` so :class:`~repro.serve.shard.ShardedServer` revives it.
+        """
+
+        return bool(
+            self._running
+            and not self._worker_dead
+            and self._process is not None
+            and self._process.is_alive()
+        )
+
+    def start(self) -> "ProcessReplica":
+        """Spawn the worker process and wait for its ready handshake.
+
+        No-op when already running.  Raises ``RuntimeError`` when the
+        worker fails to come up (snapshot rebuild or engine compile
+        error, or handshake timeout).
+        """
+
+        with self._lock:
+            if self._running:
+                return self
+        snapshot = self.snapshot_factory()
+        parent_connection, child_connection = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(snapshot, child_connection, self.engine_batch_size),
+            daemon=True,
+            name=f"proc-shard-{self.shard_id or snapshot.name}",
+        )
+        process.start()
+        child_connection.close()
+        if not parent_connection.poll(_READY_TIMEOUT):
+            process.terminate()
+            raise RuntimeError(
+                f"process shard worker for {snapshot.name!r} did not come up "
+                f"within {_READY_TIMEOUT:.0f}s"
+            )
+        status = parent_connection.recv()
+        if status[0] != "ready":
+            process.join(timeout=_JOIN_TIMEOUT)
+            raise RuntimeError(
+                f"process shard worker for {snapshot.name!r} failed to start: {status[1]}"
+            )
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(parent_connection,),
+            name=f"proc-shard-recv-{self.shard_id or snapshot.name}",
+            daemon=True,
+        )
+        with self._lock:
+            self._process = process
+            self._connection = parent_connection
+            self._receiver = receiver
+            self._running = True
+            self._worker_dead = False
+            self._busy = False
+        receiver.start()
+        with self._lock:
+            if self._buffer:
+                self._dispatch_locked()
+        return self
+
+    def stop(self) -> None:
+        """Gracefully drain pending requests, then stop the worker process.
+
+        Every request accepted before ``stop`` resolves its future: with a
+        healthy worker it resolves normally; if the worker dies during the
+        drain the remaining futures fail with ``RuntimeError`` instead of
+        hanging their waiters (``stop`` is terminal -- it never restarts).
+        Requests submitted after ``stop`` raise ``RuntimeError``.
+        """
+
+        with self._idle:
+            if not self._running:
+                return
+            self._running = False
+            while (self._buffer or self._inflight) and not self._worker_dead:
+                self._idle.wait(timeout=0.1)
+                if self._process is not None and not self._process.is_alive():
+                    break
+            stranded: List[QueuedRequest] = []
+            for batch_id in sorted(self._inflight):
+                stranded.extend(self._inflight.pop(batch_id))
+            stranded.extend(self._buffer)
+            self._buffer = []
+        for item in stranded:
+            if not item.future.done():
+                item.future.set_exception(
+                    RuntimeError(
+                        "process shard worker died while draining; request "
+                        "was not served (shard_id="
+                        f"{self.shard_id!r})"
+                    )
+                )
+        self._shutdown_worker()
+
+    def restart(self) -> "ProcessReplica":
+        """Replace a dead worker process and re-dispatch stranded requests.
+
+        Mirrors :meth:`repro.serve.server.BatchedServer.restart`: the
+        cache and counters survive, ``stats.restarts`` is incremented, and
+        every request that was buffered or in flight when the worker died
+        is adopted by the fresh worker so its future eventually resolves.
+        """
+
+        with self._lock:
+            stranded: List[QueuedRequest] = []
+            for batch_id in sorted(self._inflight):
+                stranded.extend(self._inflight.pop(batch_id))
+            stranded.extend(self._buffer)
+            self._buffer = []
+            self._busy = False
+            self._running = False
+        self._shutdown_worker(force=True)
+        self.stats.restarts += 1
+        self.start()
+        if stranded:
+            with self._lock:
+                self._buffer[:0] = stranded
+                if not self._busy:
+                    self._dispatch_locked()
+        return self
+
+    def flush(self) -> None:
+        """No-op: process replicas dispatch eagerly (API parity hook)."""
+
+    def warm(self, model: Optional[str] = None) -> None:
+        """No-op: the worker compiles its engine during :meth:`start`."""
+
+    def _shutdown_worker(self, force: bool = False) -> None:
+        connection, process, receiver = self._connection, self._process, self._receiver
+        self._connection = None
+        self._process = None
+        self._receiver = None
+        if connection is not None:
+            try:
+                connection.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        if process is not None:
+            process.join(timeout=0.1 if force else _JOIN_TIMEOUT)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT)
+        if connection is not None:
+            connection.close()  # unblocks the receiver thread
+        if receiver is not None and receiver is not threading.current_thread():
+            receiver.join(timeout=_JOIN_TIMEOUT)
+
+    def __enter__(self) -> "ProcessReplica":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> "Future[PredictResponse]":
+        """Submit one request; returns a ``Future[PredictResponse]``.
+
+        Cache hits resolve immediately; misses resolve when the worker
+        round trip carrying the request completes.  Raises
+        :class:`~repro.serve.types.UnknownModelError` when the replica is
+        pinned to other variants, ``RuntimeError`` when the replica is not
+        running.  Safe to call from any thread.
+        """
+
+        if self.allowed_models is not None and request.model not in self.allowed_models:
+            self.stats.rejected += 1
+            raise UnknownModelError(request.model, self.allowed_models)
+        self.stats.requests += 1
+        started = time.perf_counter()
+        if self.cache.enabled:
+            key = image_fingerprint(request.model, request.image)
+            probabilities = self.cache.get(key)
+            if probabilities is not None:
+                self.stats.cache_hits += 1
+                future: "Future[PredictResponse]" = Future()
+                future.set_result(
+                    self._build_response(
+                        request,
+                        probabilities,
+                        latency_ms=(time.perf_counter() - started) * 1000.0,
+                        cache_hit=True,
+                        batch_size=1,
+                    )
+                )
+                return future
+        item = QueuedRequest(request)
+        with self._lock:
+            if not self._running or self._worker_dead:
+                raise RuntimeError(
+                    "process-mode replica is not running; call start() (or restart())"
+                )
+            self._buffer.append(item)
+            if not self._busy:
+                self._dispatch_locked()
+        return item.future
+
+    def predict(self, image: np.ndarray, model: str = "baseline") -> PredictResponse:
+        """Synchronous convenience: submit one image and wait for the answer."""
+
+        return self.submit(PredictRequest(image=image, model=model)).result()
+
+    def predict_many(
+        self, images: np.ndarray, model: str = "baseline"
+    ) -> List[PredictResponse]:
+        """Submit a stack of images and wait for all responses (in order)."""
+
+        futures = [
+            self.submit(PredictRequest(image=image, model=model)) for image in images
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Parent-side batching + response plumbing
+    # ------------------------------------------------------------------
+    def _dispatch_locked(self) -> None:
+        """Ship the next micro-batch to the worker (caller holds the lock).
+
+        At most one batch is outstanding at a time: the worker computes
+        batch *N* while requests for batch *N+1* accumulate parent-side.
+        """
+
+        if not self._buffer or self._connection is None:
+            return
+        batch = self._buffer[: self.max_batch_size]
+        del self._buffer[: len(batch)]
+        self._next_batch_id += 1
+        batch_id = self._next_batch_id
+        self._inflight[batch_id] = batch
+        images = np.stack([item.request.image for item in batch]).astype(
+            np.float32, copy=False
+        )
+        self._busy = True
+        try:
+            self._connection.send(("batch", batch_id, images))
+        except (OSError, BrokenPipeError):
+            self._worker_dead = True
+            self._busy = False
+
+    def _receive_loop(self, connection) -> None:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                with self._idle:
+                    self._worker_dead = True
+                    self._busy = False
+                    self._idle.notify_all()
+                return
+            kind = message[0]
+            if kind == "result":
+                self._complete(message[1], message[2], error=None)
+            elif kind == "error":
+                self._complete(message[1], None, error=RuntimeError(message[2]))
+
+    def _complete(
+        self,
+        batch_id: int,
+        probabilities: Optional[np.ndarray],
+        error: Optional[BaseException],
+    ) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            batch = self._inflight.pop(batch_id, [])
+            if probabilities is not None and batch:
+                self.stats.record_batch(len(batch))
+            # Feed the worker its next batch before resolving futures, so
+            # it computes while the parent runs response callbacks.
+            if self._buffer and not self._worker_dead:
+                self._dispatch_locked()
+            else:
+                self._busy = False
+        for position, item in enumerate(batch):
+            if error is not None:
+                if not item.future.done():
+                    item.future.set_exception(error)
+                continue
+            probability_row = probabilities[position]
+            response = self._build_response(
+                item.request,
+                probability_row,
+                latency_ms=(now - item.submitted_at) * 1000.0,
+                cache_hit=False,
+                batch_size=len(batch),
+            )
+            if self.cache.enabled:
+                self.cache.put(
+                    image_fingerprint(item.request.model, item.request.image),
+                    probability_row,
+                )
+            if not item.future.done():  # stop() may have failed it already
+                item.future.set_result(response)
+        with self._idle:
+            if not self._buffer and not self._inflight:
+                self._idle.notify_all()
+
+    def _build_response(
+        self,
+        request: PredictRequest,
+        probabilities: np.ndarray,
+        latency_ms: float,
+        cache_hit: bool,
+        batch_size: int,
+    ) -> PredictResponse:
+        class_index = int(np.argmax(probabilities))
+        class_name = (
+            self.class_names[class_index]
+            if 0 <= class_index < len(self.class_names)
+            else str(class_index)
+        )
+        return PredictResponse(
+            request_id=request.request_id,
+            model=request.model,
+            class_index=class_index,
+            class_name=class_name,
+            probabilities=np.asarray(probabilities),
+            latency_ms=latency_ms,
+            cache_hit=cache_hit,
+            batch_size=batch_size,
+            shard_id=self.shard_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessReplica(shard_id={self.shard_id!r}, alive={self.alive}, "
+            f"max_batch_size={self.max_batch_size})"
+        )

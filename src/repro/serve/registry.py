@@ -12,9 +12,12 @@ instances.  Resolution order:
    a dataset produced by the registry's ``dataset_factory``, after which
    the weights are persisted for the next process.
 
-Alongside every classifier the registry keeps a compiled
-:class:`~repro.nn.inference.InferenceEngine`, which is what the batch
-scheduler actually runs.
+Alongside every classifier the registry exposes the shared compiled
+:class:`~repro.nn.inference.InferenceEngine` of its model (via
+:func:`repro.nn.inference.cached_engine`, which recompiles automatically
+when weights are replaced), which is what the batch scheduler actually
+runs, and can emit a picklable :class:`ModelSnapshot` so process-shard
+workers can compile their own engine without sharing memory.
 
 Thread-safety: resolution (:meth:`ModelRegistry.get` /
 :meth:`ModelRegistry.engine`) is serialized by an internal lock, so the
@@ -24,24 +27,79 @@ registry without training or compiling the same variant twice.
 
 from __future__ import annotations
 
+import io
 import json
 import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+import numpy as np
+
 from ..core.blurnet import DefendedClassifier
 from ..core.config import DefenseConfig
 from ..data.lisa import SignDataset, make_dataset
 from ..models.factory import resolve_variant, train_variant, variant_catalog
 from ..models.training import TrainingConfig
-from ..nn.inference import InferenceEngine
-from ..nn.serialization import load_weights, save_weights
+from ..nn.inference import InferenceEngine, cached_engine
+from ..nn.serialization import load_state_dict, load_weights, save_weights, state_dict
 
-__all__ = ["ModelRegistry"]
+__all__ = ["ModelRegistry", "ModelSnapshot", "classifier_from_snapshot"]
 
 _WEIGHTS_FILE = "weights.npz"
 _META_FILE = "meta.json"
+
+
+class ModelSnapshot:
+    """Self-contained, picklable copy of one registry entry.
+
+    Carries the ``.npz``-serialized weights plus the defense config and
+    build parameters, so another process can rebuild the classifier --
+    and compile its own :class:`~repro.nn.inference.InferenceEngine` --
+    without sharing any memory with this one.  This is the payload the
+    process-shard workers of :mod:`repro.serve.procshard` are spawned
+    with; see :func:`classifier_from_snapshot` for the receiving side.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: DefenseConfig,
+        weights_npz: bytes,
+        image_size: int,
+        seed: int,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.weights_npz = weights_npz
+        self.image_size = image_size
+        self.seed = seed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelSnapshot({self.name!r}, image_size={self.image_size}, "
+            f"weights={len(self.weights_npz)} bytes)"
+        )
+
+
+def classifier_from_snapshot(snapshot: ModelSnapshot) -> DefendedClassifier:
+    """Rebuild a trained :class:`DefendedClassifier` from a :class:`ModelSnapshot`.
+
+    The classifier is constructed from the snapshot's defense config, its
+    weights are restored from the ``.npz`` payload, and prediction-time
+    smoothing is (re)installed -- exactly the resolution a disk-backed
+    registry performs, but from in-memory bytes.
+    """
+
+    classifier = DefendedClassifier.build(
+        snapshot.config, seed=snapshot.seed, image_size=snapshot.image_size
+    )
+    archive = np.load(io.BytesIO(snapshot.weights_npz))
+    load_state_dict(
+        classifier.model, {key: archive[key] for key in archive.files}, strict=True
+    )
+    classifier.install_smoothing()
+    return classifier
 
 
 class ModelRegistry:
@@ -83,7 +141,6 @@ class ModelRegistry:
         self._dataset_factory = dataset_factory
         self._train_set: Optional[SignDataset] = None
         self._models: Dict[str, DefendedClassifier] = {}
-        self._engines: Dict[str, InferenceEngine] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -136,23 +193,49 @@ class ModelRegistry:
             return classifier
 
     def engine(self, name: str) -> InferenceEngine:
-        """Compiled inference engine for ``name`` (compiled once, cached, thread-safe)."""
+        """Compiled inference engine for ``name`` (shared, staleness-checked).
 
-        with self._lock:
-            if name not in self._engines:
-                self._engines[name] = InferenceEngine(self.get(name).model)
-            return self._engines[name]
+        Delegates to :func:`repro.nn.inference.cached_engine`, so the
+        engine is compiled at most once per weight generation and is
+        recompiled automatically when the variant's parameter arrays are
+        replaced (e.g. a state-dict reload through :meth:`add` or further
+        training of the same model object).
+        """
+
+        return cached_engine(self.get(name).model)
+
+    def snapshot(self, name: str) -> ModelSnapshot:
+        """Self-contained ``.npz`` weight snapshot of ``name`` for other processes.
+
+        The variant is materialized (trained or loaded) first if needed;
+        the returned payload is picklable and carries everything a worker
+        process needs to rebuild the classifier and compile a private
+        engine (see :func:`classifier_from_snapshot`).
+        """
+
+        classifier = self.get(name)
+        buffer = io.BytesIO()
+        np.savez(buffer, **state_dict(classifier.model))
+        return ModelSnapshot(
+            name=name,
+            config=classifier.config,
+            weights_npz=buffer.getvalue(),
+            image_size=self.image_size,
+            seed=classifier.seed,
+        )
 
     def add(self, name: str, classifier: DefendedClassifier, persist: bool = True) -> None:
         """Register an externally trained classifier under ``name``.
 
         With ``persist=True`` (and a disk-backed registry) the weights are
-        also written to the registry directory.
+        also written to the registry directory.  Any compiled engine for a
+        previously registered model under this name is left to the
+        engine cache's fingerprint check (a different model object or
+        reloaded weights never reuse a stale compilation).
         """
 
         with self._lock:
             self._models[name] = classifier
-            self._engines.pop(name, None)
             if persist and self.root is not None:
                 self._persist(name, classifier)
 

@@ -17,7 +17,11 @@ gets one or more *shard replicas* -- each replica a private
 (``allowed_models``), owning its own micro-batch scheduler and its own
 prediction cache, all sharing one :class:`~repro.serve.registry.ModelRegistry`
 entry for the weights.  A pluggable :class:`RoutingPolicy` (round-robin or
-least-loaded) picks the replica for each request.
+least-loaded) picks the replica for each request.  With ``mode="process"``
+each replica is instead a :class:`~repro.serve.procshard.ProcessReplica`:
+a worker *process* compiled from the registry's ``.npz`` snapshot, giving
+replicas truly parallel forwards instead of GIL-interleaved ones (see
+``docs/performance.md``).
 
 Failure handling: a replica whose scheduler worker has died is restarted
 transparently on the next request routed to it (``stats.restarts`` counts
@@ -37,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .procshard import ProcessReplica
 from .registry import ModelRegistry
 from .server import BatchedServer
 from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
@@ -206,9 +211,18 @@ class ShardedServer:
         ``"round_robin"``, ``"least_loaded"``, or a
         :class:`RoutingPolicy` instance for custom strategies.
     max_batch_size, max_wait_ms, cache_size, mode, class_names:
-        Forwarded to every embedded :class:`~repro.serve.server.BatchedServer`;
-        note ``cache_size`` is *per replica* -- sharding multiplies total
-        cache capacity, which is what isolates each variant's working set.
+        Forwarded to every embedded replica server; note ``cache_size`` is
+        *per replica* -- sharding multiplies total cache capacity, which is
+        what isolates each variant's working set.  ``mode`` picks the
+        replica implementation: ``"thread"`` / ``"sync"`` embed a
+        :class:`~repro.serve.server.BatchedServer`, while ``"process"``
+        embeds a :class:`~repro.serve.procshard.ProcessReplica` -- a worker
+        *process* that compiles its own engine from the registry's ``.npz``
+        snapshot, so replica forwards run truly in parallel instead of
+        sharing the parent's GIL (``max_wait_ms`` is ignored there: process
+        batches are busy-driven).  Process-mode workers need weights at
+        spawn time, so ``start()`` materializes every served variant
+        eagerly.
 
     Thread-safety: ``submit``/``predict`` are safe from any thread;
     lifecycle methods (``start``/``stop``/``flush``) belong to the owner.
@@ -233,6 +247,10 @@ class ShardedServer:
             raise ValueError(f"duplicate model names in {list(models)!r}")
         if replicas < 1:
             raise ValueError("replicas must be positive")
+        if mode not in {"thread", "sync", "process"}:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected 'thread', 'sync' or 'process'"
+            )
         if isinstance(routing, str):
             if routing not in _POLICIES:
                 raise ValueError(
@@ -243,36 +261,52 @@ class ShardedServer:
         self.policy = routing
         self.replicas_per_model = replicas
         self._mode = mode
+        self._replica_settings = {
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+            "cache_size": cache_size,
+            "class_names": class_names,
+        }
         self._rejected = 0
         self._rejected_lock = threading.Lock()
         self._shards: Dict[str, List[ShardReplica]] = {}
         self._shard_locks: Dict[str, threading.Lock] = {}
         for model in models:
             self._shards[model] = [
-                ShardReplica(
-                    model,
-                    index,
-                    BatchedServer(
-                        registry,
-                        max_batch_size=max_batch_size,
-                        max_wait_ms=max_wait_ms,
-                        cache_size=cache_size,
-                        mode=mode,
-                        class_names=class_names,
-                        allowed_models=(model,),
-                        shard_id=f"{model}/{index}",
-                    ),
-                )
+                ShardReplica(model, index, self._build_replica_server(model, index))
                 for index in range(replicas)
             ]
             self._shard_locks[model] = threading.Lock()
+
+    def _build_replica_server(self, model: str, index: int):
+        """One pinned replica server for ``model``: batched (thread/sync) or process."""
+
+        if self._mode == "process":
+            return ProcessReplica(
+                lambda name=model: self.registry.snapshot(name),
+                max_batch_size=self._replica_settings["max_batch_size"],
+                cache_size=self._replica_settings["cache_size"],
+                class_names=self._replica_settings["class_names"],
+                allowed_models=(model,),
+                shard_id=f"{model}/{index}",
+            )
+        return BatchedServer(
+            self.registry,
+            max_batch_size=self._replica_settings["max_batch_size"],
+            max_wait_ms=self._replica_settings["max_wait_ms"],
+            cache_size=self._replica_settings["cache_size"],
+            mode=self._mode,
+            class_names=self._replica_settings["class_names"],
+            allowed_models=(model,),
+            shard_id=f"{model}/{index}",
+        )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def mode(self) -> str:
-        """Scheduler mode of every embedded server, ``"thread"`` or ``"sync"``."""
+        """Replica mode: ``"thread"``, ``"sync"`` or ``"process"``."""
 
         return self._mode
 

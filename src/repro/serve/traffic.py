@@ -17,9 +17,11 @@ experiment scenarios (:mod:`repro.experiments.serving`).
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,7 +35,52 @@ __all__ = [
     "ThroughputReport",
     "run_load",
     "run_naive_loop",
+    "coresident_interpreter_load",
 ]
+
+
+@contextmanager
+def coresident_interpreter_load(threads: int = 1, work_chunk: int = 2000) -> Iterator[None]:
+    """Keep ``threads`` pure-Python busy threads running for the ``with`` block.
+
+    Emulates interpreter-resident work a production serving parent runs
+    alongside its shard replicas -- the asyncio front-end's frame
+    encode/decode, metric aggregation, log shipping, an analysis loop.
+    Each thread spins on bytecode (never a C call that releases the GIL),
+    which is the worst case for *thread-mode* shard replicas: every NumPy
+    op of every replica has to win the GIL back from these threads, while
+    *process-mode* replicas only compete for CPU through the OS scheduler.
+    ``benchmarks/test_serve_procs.py`` measures exactly that contrast.
+
+    Parameters
+    ----------
+    threads:
+        Number of busy interpreter threads to run.  0 is a no-op.
+    work_chunk:
+        Iterations of the inner arithmetic loop between stop-flag checks
+        (controls how long each GIL hold lasts).
+    """
+
+    stop = threading.Event()
+
+    def _spin() -> None:
+        while not stop.is_set():
+            total = 0
+            for value in range(work_chunk):
+                total += value * value
+
+    workers = [
+        threading.Thread(target=_spin, name=f"coresident-load-{i}", daemon=True)
+        for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.join()
 
 
 def synthetic_image_pool(

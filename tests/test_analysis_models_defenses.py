@@ -360,3 +360,74 @@ class TestDefendedClassifierTraining:
         classifier.fit(train_set, training_config)
         assert training_config.gaussian_sigma == pytest.approx(0.2)
         assert classifier.smoother is None
+
+
+class TestVectorizedSmoothingVote:
+    """The vectorized Monte-Carlo vote must equal the historic sample loop."""
+
+    def _reference_class_counts(self, model, images, sigma, num_samples, seed):
+        # The pre-vectorization implementation: one generator draw and one
+        # full forward per Monte-Carlo sample.
+        images = np.asarray(images, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        votes = None
+        for _ in range(num_samples):
+            noisy = np.clip(images + rng.normal(0.0, sigma, size=images.shape), 0.0, 1.0)
+            logits = predict_logits(model, noisy)
+            predictions = logits.argmax(axis=-1)
+            if votes is None:
+                votes = np.zeros((len(images), logits.shape[-1]), dtype=np.int64)
+            votes[np.arange(len(images)), predictions] += 1
+        return votes
+
+    def test_vectorized_vote_is_bit_identical_to_sample_loop(self, tiny_baseline, tiny_eval_set):
+        images = tiny_eval_set.images[:4]
+        smoothed = SmoothedClassifier(
+            tiny_baseline.model, sigma=0.08, num_samples=9, seed=21, exact=True
+        )
+        reference = self._reference_class_counts(
+            tiny_baseline.model, images, sigma=0.08, num_samples=9, seed=21
+        )
+        np.testing.assert_array_equal(smoothed.class_counts(images), reference)
+
+    def test_sample_chunking_never_changes_the_vote(self, tiny_baseline, tiny_eval_set, monkeypatch):
+        import repro.defenses.randomized_smoothing as rs
+
+        images = tiny_eval_set.images[:3]
+        full = SmoothedClassifier(
+            tiny_baseline.model, sigma=0.05, num_samples=8, seed=4, exact=True
+        ).class_counts(images)
+        # Force one-sample chunks: the generator stream (and therefore the
+        # vote) must be unchanged.
+        monkeypatch.setattr(rs, "_MAX_CHUNK_ELEMENTS", 1)
+        chunked = SmoothedClassifier(
+            tiny_baseline.model, sigma=0.05, num_samples=8, seed=4, exact=True
+        ).class_counts(images)
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_engine_vote_is_deterministic_and_normalized(self, tiny_baseline, tiny_eval_set):
+        images = tiny_eval_set.images[:3]
+        first = SmoothedClassifier(
+            tiny_baseline.model, sigma=0.05, num_samples=6, seed=9
+        ).class_counts(images)
+        second = SmoothedClassifier(
+            tiny_baseline.model, sigma=0.05, num_samples=6, seed=9
+        ).class_counts(images)
+        np.testing.assert_array_equal(first, second)
+        assert (first.sum(axis=1) == 6).all()
+
+    def test_per_call_exact_override(self, tiny_baseline, tiny_eval_set):
+        images = tiny_eval_set.images[:2]
+        smoothed = SmoothedClassifier(tiny_baseline.model, sigma=0.05, num_samples=5, seed=3)
+        engine_counts = smoothed.class_counts(images)
+        smoothed_exact = SmoothedClassifier(
+            tiny_baseline.model, sigma=0.05, num_samples=5, seed=3
+        )
+        exact_counts = smoothed_exact.class_counts(images, exact=True)
+        assert engine_counts.shape == exact_counts.shape
+        assert (exact_counts.sum(axis=1) == 5).all()
+
+    def test_empty_batch_is_rejected(self, tiny_baseline):
+        smoothed = SmoothedClassifier(tiny_baseline.model, sigma=0.1, num_samples=3)
+        with pytest.raises(ValueError):
+            smoothed.class_counts(np.empty((0, 3, 16, 16)))

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import DefenseConfig, DefendedClassifier
+from repro.models.factory import variant_catalog
 from repro.nn import Tensor
 from repro.nn.inference import (
     InferenceEngine,
@@ -119,9 +120,14 @@ class TestBatchedHelpers:
 class TestDefendedClassifierProba:
     def test_predict_proba_matches_logits_softmax(self, images):
         classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
-        probabilities = classifier.predict_proba(images, batch_size=4)
         expected = softmax_probabilities(classifier.predict_logits(images))
-        np.testing.assert_allclose(probabilities, expected)
+        # Default (compiled float32 engine): float32-tolerance agreement.
+        probabilities = classifier.predict_proba(images, batch_size=4)
+        np.testing.assert_allclose(probabilities, expected, atol=1e-5)
+        # Exact opt-out: bit-faithful to the float64 logits.
+        np.testing.assert_allclose(
+            classifier.predict_proba(images, batch_size=4, exact=True), expected
+        )
 
     def test_predict_chunked_matches_unchunked(self, images):
         classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
@@ -144,3 +150,158 @@ class TestDefendedClassifierProba:
         np.testing.assert_array_equal(
             probabilities.argmax(axis=-1), classifier.predict(test_set.images[:6], batch_size=2)
         )
+
+
+class TestCatalogParity:
+    """Engine parity across every variant the registry can serve.
+
+    The compiled float32 engine must agree with the float64 autodiff
+    forward on every ``variant_catalog`` architecture: logits within
+    float32 tolerance, arg-max decisions identical.
+    """
+
+    @pytest.mark.parametrize("name", sorted(variant_catalog()))
+    def test_engine_matches_autodiff_forward(self, name, images):
+        from repro.models.factory import build_variant, resolve_variant
+        from repro.nn.inference import cached_engine
+
+        classifier = build_variant(resolve_variant(name), seed=3, image_size=32)
+        reference = classifier.predict_logits(images)
+        engine = cached_engine(classifier.model)
+        logits = engine.predict_logits(images, batch_size=4)
+        assert logits.dtype == np.float32
+        np.testing.assert_allclose(logits, reference, atol=1e-3, rtol=1e-4)
+        assert (logits.argmax(axis=-1) == reference.argmax(axis=-1)).all()
+
+
+class TestCachedEngine:
+    def test_same_engine_is_reused_while_weights_unchanged(self, images):
+        from repro.nn.inference import cached_engine
+
+        model = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        first = cached_engine(model)
+        second = cached_engine(model)
+        assert first is second
+
+    def test_state_dict_reload_recompiles_automatically(self, images):
+        from repro.nn.inference import cached_engine
+        from repro.nn.serialization import load_state_dict, state_dict
+
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        donor = DefendedClassifier.build(DefenseConfig.baseline(), seed=99)
+        before = cached_engine(classifier.model).predict_logits(images)
+        # Reload different weights into the SAME model object: the cache
+        # must notice (the stale-engine footgun this PR fixes).
+        load_state_dict(classifier.model, state_dict(donor.model))
+        after_engine = cached_engine(classifier.model)
+        after = after_engine.predict_logits(images)
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(
+            after, donor.predict_logits(images), atol=1e-3, rtol=1e-4
+        )
+
+    def test_optimizer_step_invalidates_fingerprint(self, images):
+        from repro.nn.inference import cached_engine, weights_fingerprint
+        from repro.nn.optim import Adam
+        from repro.nn.tensor import Tensor
+
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        model = classifier.model
+        engine = cached_engine(model)
+        # Pin the pre-step arrays so recycled ids cannot mask the change.
+        pinned = [parameter.data for parameter in model.parameters()]
+        fingerprint = weights_fingerprint(model)
+        # One training step reassigns parameter arrays...
+        optimizer = Adam(model.parameters(), learning_rate=1e-3)
+        model.train()
+        loss = model(Tensor(images[:2])).sum()
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert weights_fingerprint(model) != fingerprint
+        # ...so the next cached_engine call compiles fresh ops.
+        assert cached_engine(model) is not engine
+        del pinned
+
+    def test_cache_does_not_keep_models_alive(self, images):
+        import gc
+        import weakref
+
+        from repro.nn.inference import cached_engine
+
+        model = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        engine = cached_engine(model)
+        expected = engine.predict_logits(images)
+        model_ref = weakref.ref(model)
+        del model
+        gc.collect()
+        # The cache and the engine reference the model weakly: it must be
+        # collectable even while the compiled engine is still in use.
+        assert model_ref() is None
+        np.testing.assert_array_equal(engine.predict_logits(images), expected)
+        with pytest.raises(RuntimeError):
+            engine.refresh()
+
+    def test_in_place_mutation_needs_explicit_invalidation(self, images):
+        from repro.nn.inference import cached_engine, invalidate_cached_engine
+
+        classifier = DefendedClassifier.build(DefenseConfig.baseline(), seed=0)
+        model = classifier.model
+        before = cached_engine(model).predict_logits(images)
+        dense = model.layers[-1]
+        dense.bias.data[:] = dense.bias.data + 5.0  # in-place: fingerprint-blind
+        stale = cached_engine(model).predict_logits(images)
+        np.testing.assert_allclose(stale, before, atol=1e-5)
+        invalidate_cached_engine(model)
+        refreshed = cached_engine(model).predict_logits(images)
+        np.testing.assert_allclose(refreshed, before + 5.0, atol=1e-3)
+
+    def test_predict_classes_rides_the_cached_engine(self, images):
+        from repro.models.training import predict_classes
+        from repro.nn.inference import cached_engine
+
+        model = DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model
+        np.testing.assert_array_equal(
+            predict_classes(model, images), cached_engine(model).predict(images)
+        )
+        np.testing.assert_array_equal(
+            predict_classes(model, images, exact=True),
+            predict_classes(model, images),
+        )
+
+
+class TestWorkspaceReuse:
+    def test_changing_batch_sizes_share_one_engine(self, images):
+        engine = InferenceEngine(DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model)
+        full = engine.predict_logits(images, batch_size=len(images))
+        for batch_size in (1, 2, 5, len(images)):
+            np.testing.assert_allclose(
+                engine.predict_logits(images, batch_size=batch_size), full, atol=1e-5
+            )
+
+    def test_outputs_are_not_workspace_views(self, images):
+        engine = InferenceEngine(DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model)
+        first = engine.forward(images[:2])
+        snapshot = first.copy()
+        engine.forward(images[2:4])  # reuses the same workspaces
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_concurrent_forwards_from_threads_are_correct(self, images):
+        import threading
+
+        engine = InferenceEngine(DefendedClassifier.build(DefenseConfig.baseline(), seed=0).model)
+        expected = engine.predict_logits(images, batch_size=3)
+        results = {}
+
+        def worker(tag):
+            out = [engine.predict_logits(images, batch_size=3) for _ in range(5)]
+            results[tag] = out
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for outputs in results.values():
+            for out in outputs:
+                np.testing.assert_allclose(out, expected, atol=1e-5)

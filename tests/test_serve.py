@@ -238,6 +238,38 @@ class TestModelRegistry:
         assert registry.persisted() == []
         assert "baseline" not in registry
 
+    def test_engine_recompiles_after_state_dict_reload(self, memory_registry):
+        # The stale-engine footgun: reloading weights into an already-served
+        # model must invalidate the compiled engine automatically.
+        from repro.nn.serialization import load_state_dict, state_dict
+
+        classifier = memory_registry.get("baseline")
+        probe = np.random.default_rng(8).random((5, 3, IMAGE_SIZE, IMAGE_SIZE))
+        before = memory_registry.engine("baseline").predict_logits(probe)
+
+        donor = DefendedClassifier.build(
+            DefenseConfig.baseline(), seed=123, image_size=IMAGE_SIZE
+        )
+        load_state_dict(classifier.model, state_dict(donor.model))
+        after = memory_registry.engine("baseline").predict_logits(probe)
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(
+            after, donor.predict_logits(probe), atol=1e-3, rtol=1e-4
+        )
+
+    def test_snapshot_is_picklable_and_self_contained(self, memory_registry):
+        import pickle
+
+        snapshot = memory_registry.snapshot("baseline")
+        restored = pickle.loads(pickle.dumps(snapshot))
+        from repro.serve import classifier_from_snapshot
+
+        rebuilt = classifier_from_snapshot(restored)
+        probe = np.random.default_rng(4).random((4, 3, IMAGE_SIZE, IMAGE_SIZE))
+        np.testing.assert_array_equal(
+            rebuilt.predict(probe), memory_registry.get("baseline").predict(probe)
+        )
+
 
 # ----------------------------------------------------------------------
 # Inference server

@@ -306,3 +306,151 @@ class TestFailureHandling:
         assert len(responses) == 24
         for response in responses:
             assert response.shard_id.split("/")[0] == response.model
+
+
+# ----------------------------------------------------------------------
+# Process-mode replicas (mode="process")
+# ----------------------------------------------------------------------
+class TestProcessShards:
+    def test_process_mode_serves_and_routes(self, registry, pool):
+        server = ShardedServer(
+            registry, ["alpha", "beta"], mode="process", max_batch_size=8, cache_size=0
+        )
+        with server:
+            for model in ("alpha", "beta"):
+                responses = server.predict_many(pool[:5], model=model)
+                assert [r.model for r in responses] == [model] * 5
+                assert all(r.shard_id == f"{model}/0" for r in responses)
+            # Answers must match the parent-side engine of the same weights.
+            expected = registry.engine("alpha").predict(pool[:5])
+            got = [r.class_index for r in server.predict_many(pool[:5], model="alpha")]
+            assert got == list(expected)
+        assert server.stats.requests == 15
+        assert server.stats.batches > 0
+
+    def test_process_mode_batches_requests(self, registry, pool):
+        server = ShardedServer(
+            registry, ["alpha"], mode="process", max_batch_size=8, cache_size=0
+        )
+        with server:
+            futures = [
+                server.submit(PredictRequest(image=pool[i % len(pool)], model="alpha"))
+                for i in range(16)
+            ]
+            for future in futures:
+                future.result(timeout=30.0)
+        # Requests submitted while the worker was busy must have coalesced.
+        assert server.stats.batches < 16
+        assert server.stats.batched_images == 16
+
+    def test_process_mode_cache_hits_without_touching_worker(self, registry, pool):
+        server = ShardedServer(
+            registry, ["alpha"], mode="process", max_batch_size=4, cache_size=32
+        )
+        with server:
+            first = server.predict(pool[0], model="alpha")
+            again = server.predict(pool[0], model="alpha")
+            assert not first.cache_hit
+            assert again.cache_hit
+            np.testing.assert_allclose(again.probabilities, first.probabilities)
+        assert server.stats.cache_hits == 1
+
+    def test_dead_worker_process_is_restarted_on_next_request(self, registry, pool):
+        server = ShardedServer(registry, ["alpha"], mode="process", cache_size=0)
+        with server:
+            replica = server.shard("alpha")[0]
+            assert server.predict(pool[0], model="alpha").model == "alpha"
+            replica.server._process.terminate()  # simulate a worker crash
+            replica.server._process.join(timeout=10.0)
+            deadline = threading.Event()
+            deadline.wait(0.1)  # give the receiver thread the EOF
+            assert not replica.alive
+            response = server.predict(pool[1], model="alpha")  # transparent revival
+            assert response.model == "alpha"
+            assert replica.alive
+            assert replica.restarts == 1
+            assert server.stats.restarts == 1
+
+    def test_restart_re_dispatches_stranded_requests(self, registry, pool):
+        server = ShardedServer(registry, ["alpha"], mode="process", cache_size=0)
+        with server:
+            replica = server.shard("alpha")[0].server
+            assert server.predict(pool[0], model="alpha").model == "alpha"
+            # Recreate the crash aftermath: a request in flight when the
+            # worker dies stays unresolved until the replica is revived.
+            from repro.serve import QueuedRequest
+
+            stranded = QueuedRequest(PredictRequest(image=pool[1], model="alpha"))
+            with replica._lock:
+                replica._inflight[999] = [stranded]
+            replica._process.terminate()
+            replica._process.join(timeout=10.0)
+            response = server.predict(pool[2], model="alpha")  # triggers restart
+            assert response.model == "alpha"
+            assert stranded.future.result(timeout=30.0).model == "alpha"
+            assert replica.stats.restarts == 1
+
+    def test_stop_drains_inflight_requests(self, registry, pool):
+        server = ShardedServer(
+            registry, ["alpha", "beta"], mode="process", max_batch_size=4, cache_size=0
+        )
+        server.start()
+        futures = [
+            server.submit(
+                PredictRequest(image=pool[i % len(pool)], model=MODELS[i % 2])
+            )
+            for i in range(12)
+        ]
+        server.stop()  # graceful drain: every accepted future resolves
+        for future in futures:
+            assert future.result(timeout=1.0).model in ("alpha", "beta")
+
+    def test_submit_after_stop_raises(self, registry, pool):
+        server = ShardedServer(registry, ["alpha"], mode="process", cache_size=0)
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError):
+            server.shard("alpha")[0].server.submit(
+                PredictRequest(image=pool[0], model="alpha")
+            )
+
+    def test_unknown_model_rejected_before_reaching_worker(self, registry, pool):
+        server = ShardedServer(registry, ["alpha"], mode="process", cache_size=0)
+        with server:
+            with pytest.raises(UnknownModelError):
+                server.submit(PredictRequest(image=pool[0], model="gamma"))
+        assert server.stats.rejected == 1
+
+    def test_unknown_mode_is_rejected(self, registry):
+        with pytest.raises(ValueError):
+            ShardedServer(registry, ["alpha"], mode="greenlet")
+
+    def test_snapshot_round_trip_preserves_predictions(self, registry, pool):
+        from repro.serve import classifier_from_snapshot
+
+        snapshot = registry.snapshot("alpha")
+        rebuilt = classifier_from_snapshot(snapshot)
+        np.testing.assert_array_equal(
+            rebuilt.predict(pool[:6]), registry.get("alpha").predict(pool[:6])
+        )
+
+    def test_stop_fails_stranded_futures_when_worker_dies_mid_drain(self, registry, pool):
+        import concurrent.futures
+
+        server = ShardedServer(registry, ["alpha"], mode="process", cache_size=0)
+        with server:
+            replica = server.shard("alpha")[0].server
+            assert server.predict(pool[0], model="alpha").model == "alpha"
+            # Recreate a crash mid-drain: an in-flight request whose worker
+            # is gone.  stop() must fail the future, not hang its waiter.
+            from repro.serve import QueuedRequest
+
+            stranded = QueuedRequest(PredictRequest(image=pool[1], model="alpha"))
+            with replica._lock:
+                replica._inflight[999] = [stranded]
+            replica._process.terminate()
+            replica._process.join(timeout=10.0)
+        with pytest.raises(RuntimeError, match="died while draining"):
+            stranded.future.result(timeout=5.0)
+        done, _ = concurrent.futures.wait([stranded.future], timeout=0.1)
+        assert stranded.future in done

@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Diff ``results/BENCH_*.json`` benchmark artifacts between two states.
+
+Every benchmark writes its numbers through
+``benchmarks/conftest.write_bench_artifact`` in one uniform schema, so the
+repo's perf trajectory is a set of JSON files that can be diffed commit
+over commit.  This tool prints that diff as a table of numeric changes.
+
+Usage
+-----
+Compare the working tree's artifacts against the last commit::
+
+    python tools/bench_compare.py
+
+Compare against an arbitrary git ref::
+
+    python tools/bench_compare.py --baseline HEAD~3
+
+Compare two artifact directories (e.g. CI runs)::
+
+    python tools/bench_compare.py --old-dir /path/to/old/results --new-dir results
+
+Gate on regressions (exit code 1 when any throughput/speedup metric drops,
+or any seconds/latency metric rises, by more than the threshold)::
+
+    python tools/bench_compare.py --fail-on-regress 10
+
+Metric direction is inferred from the key name: ``speedup*``,
+``*images_per_second*``, ``*hit_rate*`` and ``*accuracy*`` count as
+higher-is-better; ``*seconds*``, ``*latency*`` as lower-is-better; other
+numeric keys are reported without a regression direction.  The ``host``
+envelope and ``schema_version`` are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+HIGHER_BETTER = ("speedup", "images_per_second", "hit_rate", "accuracy")
+LOWER_BETTER = ("seconds", "latency")
+IGNORED_PREFIXES = ("host.", "schema_version")
+
+
+#: Row fields used (in order) to give list entries a stable identity, so
+#: reordering or inserting rows between commits still compares like with
+#: like instead of whatever happens to share a position.
+_ROW_LABEL_FIELDS = ("scenario", "path", "benchmark")
+
+
+def _row_labels(items: List) -> List[str]:
+    """Stable per-item labels for a JSON list (named when possible).
+
+    Dict items are labelled by their first ``_ROW_LABEL_FIELDS`` entry;
+    items without one -- or duplicate labels -- fall back to the positional
+    index so every label stays unique.
+    """
+
+    labels: List[str] = []
+    for index, item in enumerate(items):
+        label = str(index)
+        if isinstance(item, dict):
+            for field in _ROW_LABEL_FIELDS:
+                if isinstance(item.get(field), str):
+                    label = item[field]
+                    break
+        labels.append(label)
+    seen: Dict[str, int] = {}
+    for label in labels:
+        seen[label] = seen.get(label, 0) + 1
+    return [
+        label if seen[label] == 1 else str(index)
+        for index, label in enumerate(labels)
+    ]
+
+
+def _flatten(value, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, number)`` for every numeric leaf of a JSON tree."""
+
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield prefix, float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            yield from _flatten(value[key], f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(value, list):
+        for item, label in zip(value, _row_labels(value)):
+            yield from _flatten(item, f"{prefix}[{label}]")
+
+
+def _direction(path: str) -> Optional[bool]:
+    """True = higher is better, False = lower is better, None = unknown."""
+
+    lowered = path.lower()
+    if any(token in lowered for token in HIGHER_BETTER):
+        return True
+    if any(token in lowered for token in LOWER_BETTER):
+        return False
+    return None
+
+
+def _load_dir(directory: Path) -> Dict[str, Dict[str, float]]:
+    """``{artifact name: {metric path: value}}`` for one artifact directory."""
+
+    artifacts: Dict[str, Dict[str, float]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            tree = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping unreadable {path}: {error}", file=sys.stderr)
+            continue
+        artifacts[path.name] = dict(_flatten(tree))
+    return artifacts
+
+
+def _load_git(ref: str, results_dir: str = "results") -> Dict[str, Dict[str, float]]:
+    """Artifacts as of git ``ref`` (empty when the ref has none)."""
+
+    listing = subprocess.run(
+        ["git", "ls-tree", "-r", "--name-only", ref, results_dir],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    artifacts: Dict[str, Dict[str, float]] = {}
+    if listing.returncode != 0:
+        print(f"warning: git ls-tree {ref} failed: {listing.stderr.strip()}", file=sys.stderr)
+        return artifacts
+    for line in listing.stdout.splitlines():
+        name = Path(line).name
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        shown = subprocess.run(
+            ["git", "show", f"{ref}:{line}"], cwd=REPO_ROOT, capture_output=True, text=True
+        )
+        if shown.returncode != 0:
+            continue
+        try:
+            artifacts[name] = dict(_flatten(json.loads(shown.stdout)))
+        except json.JSONDecodeError:
+            continue
+    return artifacts
+
+
+def _ignored(path: str) -> bool:
+    return any(path.startswith(prefix) for prefix in IGNORED_PREFIXES)
+
+
+def compare(
+    old: Dict[str, Dict[str, float]],
+    new: Dict[str, Dict[str, float]],
+    fail_threshold: Optional[float],
+) -> int:
+    """Print the metric diff table; return the exit code."""
+
+    regressions: List[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            print(f"\n{name}: removed")
+            continue
+        if name not in old:
+            print(f"\n{name}: new artifact ({len(new[name])} metrics)")
+            continue
+        old_metrics, new_metrics = old[name], new[name]
+        changed: List[str] = []
+        for path in sorted(set(old_metrics) | set(new_metrics)):
+            if _ignored(path):
+                continue
+            before = old_metrics.get(path)
+            after = new_metrics.get(path)
+            if before is None or after is None:
+                tag = "added" if before is None else "dropped"
+                changed.append(f"  {path}: {tag} ({after if before is None else before})")
+                continue
+            if before == after:
+                continue
+            delta = after - before
+            percent = (delta / abs(before) * 100.0) if before else float("inf")
+            marker = ""
+            direction = _direction(path)
+            if direction is True and percent < 0:
+                marker = "  <-- regression"
+            elif direction is False and percent > 0:
+                marker = "  <-- regression"
+            if marker and fail_threshold is not None and abs(percent) > fail_threshold:
+                regressions.append(f"{name}:{path} ({percent:+.1f}%)")
+            changed.append(f"  {path}: {before:g} -> {after:g} ({percent:+.1f}%){marker}")
+        if changed:
+            print(f"\n{name}:")
+            for line in changed:
+                print(line)
+        else:
+            print(f"\n{name}: unchanged")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond threshold:")
+        for item in regressions:
+            print(f"  {item}")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point; returns the exit code."""
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="HEAD",
+        help="git ref whose committed artifacts form the baseline (default: HEAD)",
+    )
+    parser.add_argument(
+        "--old-dir", type=Path, default=None, help="baseline artifact directory (overrides git)"
+    )
+    parser.add_argument(
+        "--new-dir",
+        type=Path,
+        default=REPO_ROOT / "results",
+        help="current artifact directory (default: results/)",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when a directional metric regresses by more than PCT percent",
+    )
+    arguments = parser.parse_args(argv)
+
+    old = _load_dir(arguments.old_dir) if arguments.old_dir else _load_git(arguments.baseline)
+    new = _load_dir(arguments.new_dir)
+    if not new:
+        print(f"no BENCH_*.json artifacts in {arguments.new_dir}", file=sys.stderr)
+        return 2
+    source = arguments.old_dir or f"git:{arguments.baseline}"
+    print(f"baseline: {source} ({len(old)} artifacts); current: {arguments.new_dir} ({len(new)})")
+    return compare(old, new, arguments.fail_on_regress)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
