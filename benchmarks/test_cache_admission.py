@@ -1,0 +1,133 @@
+"""Cache admission under adversarial eviction: TinyLFU vs plain LRU.
+
+The prediction cache assumes road-sign traffic is repetitive -- but the
+attacker querying a defended classifier (the black-box setting of the
+paper, and the query-attack literature in PAPERS.md) sends the opposite:
+floods of *unique* images.  Under recency-only LRU admission every unique
+probe is a miss, every miss an insert, and the flood evicts the
+legitimate hot working set between its own accesses: the users who should
+benefit from the cache stop hitting it entirely.
+
+This benchmark replays one deterministic adversarial stream
+(:func:`~repro.serve.traffic.generate_adversarial_requests`: 4:1
+unique-image spam around a 32-image hot set, against a 64-entry cache --
+~160 unique inserts between two accesses of the same hot image, 2.5x the
+capacity, so recency-only admission structurally cannot hold the set)
+through two sync servers differing only in ``cache_policy``.  The
+acceptance gates:
+
+* TinyLFU keeps the hot set servable: hot-set hit rate >= 2x the LRU
+  hot-set hit rate (the PR's ratio gate), and >= 0.5 absolutely;
+* LRU demonstrably degrades (hot-set hit rate < 0.05) -- if this ever
+  *passes* under LRU, the stream no longer models the threat.
+
+The measured rows land in ``results/BENCH_cache_admission.json``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_bench_artifact
+
+from repro.models.factory import build_variant, resolve_variant
+from repro.serve import (
+    BatchedServer,
+    ModelRegistry,
+    generate_adversarial_requests,
+    replay_requests,
+    summarize_adversarial_responses,
+    synthetic_image_pool,
+)
+
+IMAGE_SIZE = 32
+POOL_SIZE = 32
+HOT_SET_SIZE = 32
+CACHE_SIZE = 64
+SPAM_RATIO = 4.0
+NUM_REQUESTS = 1000
+
+
+def _setup():
+    """Registry with an untrained baseline plus the adversarial stream.
+
+    Training does not change forward cost or cache behavior, so random
+    weights keep the benchmark hermetic and fast.
+    """
+
+    registry = ModelRegistry(None, image_size=IMAGE_SIZE)
+    registry.add(
+        "baseline",
+        build_variant(resolve_variant("baseline"), seed=0, image_size=IMAGE_SIZE),
+        persist=False,
+    )
+    pool = synthetic_image_pool(POOL_SIZE, image_size=IMAGE_SIZE, seed=42)
+    stream = generate_adversarial_requests(
+        pool,
+        NUM_REQUESTS,
+        hot_set_size=HOT_SET_SIZE,
+        spam_ratio=SPAM_RATIO,
+        seed=11,
+    )
+    registry.engine("baseline").predict(pool[:32])
+    return registry, stream
+
+
+def _serve(registry, stream, policy: str):
+    server = BatchedServer(
+        registry,
+        max_batch_size=32,
+        cache_size=CACHE_SIZE,
+        cache_policy=policy,
+        mode="sync",
+    )
+    summary = summarize_adversarial_responses(replay_requests(server, stream))
+    summary["scenario"] = f"adversarial[{policy}]"
+    summary["cache_entries"] = len(server.cache)
+    return summary
+
+
+def test_tinylfu_admission_under_adversarial_spam(benchmark):
+    registry, stream = _setup()
+
+    lru_summary = _serve(registry, stream, "lru")
+    tinylfu_summary = run_once(benchmark, _serve, registry, stream, "tinylfu")
+
+    lru_hot = lru_summary["hot_hit_rate"]
+    tinylfu_hot = tinylfu_summary["hot_hit_rate"]
+    ratio = tinylfu_hot / max(lru_hot, 1e-9)
+
+    artifact_path = write_bench_artifact(
+        "cache_admission",
+        {
+            "num_requests": NUM_REQUESTS,
+            "hot_set_size": HOT_SET_SIZE,
+            "cache_size": CACHE_SIZE,
+            "spam_ratio": SPAM_RATIO,
+            "lru_hot_hit_rate": round(lru_hot, 4),
+            "tinylfu_hot_hit_rate": round(tinylfu_hot, 4),
+            "tinylfu_vs_lru_hot_hit_rate": round(min(ratio, 999.0), 1),
+            "rows": [lru_summary, tinylfu_summary],
+        },
+    )
+
+    print(
+        f"\nhot-set hit rate under {SPAM_RATIO:.0f}:1 spam: "
+        f"lru {lru_hot:.3f} vs tinylfu {tinylfu_hot:.3f}"
+    )
+    print(f"artifact: {artifact_path}")
+
+    # The threat is real: recency-only admission loses the hot set...
+    assert lru_hot < 0.05, (
+        f"LRU hot-set hit rate {lru_hot:.3f} -- the stream no longer models "
+        "adversarial eviction"
+    )
+    # ...and spam never earns hits under either policy (every image unique).
+    assert lru_summary["spam_hit_rate"] == 0.0
+    assert tinylfu_summary["spam_hit_rate"] == 0.0
+    # The PR's admission gates.
+    assert tinylfu_hot >= 0.5, (
+        f"TinyLFU hot-set hit rate {tinylfu_hot:.3f}; need >= 0.5"
+    )
+    assert tinylfu_hot >= 2.0 * max(lru_hot, 1e-9), (
+        f"TinyLFU hot-set hit rate {tinylfu_hot:.3f} is not >= 2x "
+        f"LRU's {lru_hot:.3f}"
+    )

@@ -18,8 +18,13 @@ float64 throughput -- that gap is asserted in
 ``benchmarks/test_engine_eval.py``).  What this benchmark isolates is the
 remaining *batching* win on top of the fast engine: one engine call per
 32 requests instead of 32 per-call entries, which must still buy at least
-1.25x.  The measured numbers are written to
-``results/BENCH_serve_throughput.json`` as a report artifact.
+1.25x.  Both sides of the ratio are measured **best-of-3**: each window
+is only ~70 ms of wall time, so a single sample is at the mercy of
+whatever else the (one-core, shared) container does in that instant --
+the max over three replays approximates the noise-free rate the way
+``timeit``'s ``min`` approximates the noise-free duration.  The measured
+numbers are written to ``results/BENCH_serve_throughput.json`` as a
+report artifact.
 """
 
 from __future__ import annotations
@@ -60,10 +65,16 @@ def _serving_setup():
     return classifier, registry, unique_stream, repeat_stream
 
 
+REPLAYS = 3  # best-of-N on both sides of the gated ratio
+
+
 def test_micro_batching_speedup(benchmark):
     classifier, registry, unique_stream, repeat_stream = _serving_setup()
 
-    naive = run_naive_loop(classifier, unique_stream)
+    naive = max(
+        (run_naive_loop(classifier, unique_stream) for _ in range(REPLAYS)),
+        key=lambda report: report.images_per_second,
+    )
 
     batched_server = InferenceServer(
         registry, max_batch_size=MAX_BATCH_SIZE, cache_size=0, mode="sync"
@@ -71,6 +82,10 @@ def test_micro_batching_speedup(benchmark):
     batched = run_once(
         benchmark, run_load, batched_server, unique_stream, label="micro_batched[sync]"
     )
+    for _ in range(REPLAYS - 1):
+        replay = run_load(batched_server, unique_stream, label="micro_batched[sync]")
+        if replay.images_per_second > batched.images_per_second:
+            batched = replay
 
     cached_server = InferenceServer(
         registry, max_batch_size=MAX_BATCH_SIZE, cache_size=2 * NUM_REQUESTS, mode="sync"

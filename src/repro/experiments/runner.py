@@ -27,6 +27,7 @@ from .figures import (
 from .pgd_eval import run_pgd_evaluation
 from .reporting import print_table, save_rows
 from .serving import (
+    run_adaptive_serving_evaluation,
     run_process_serving_evaluation,
     run_serving_evaluation,
     run_sharded_serving_evaluation,
@@ -146,6 +147,11 @@ def run_all(
         "serving_process",
         "Process vs thread shard replicas (idle and busy parent interpreter)",
         run_process_serving_evaluation(context),
+    )
+    record(
+        "serving_adaptive",
+        "Adaptive serving (online batch autotuning; LRU vs TinyLFU under spam)",
+        run_adaptive_serving_evaluation(context),
     )
     return results
 

@@ -23,6 +23,15 @@ variants and the single-queue server is raced against the
 :class:`~repro.serve.shard.ShardedServer` (per-variant schedulers and
 caches).  Its ``speedup_vs_single_queue`` column is what
 ``benchmarks/test_serve_sharded.py`` asserts on.
+
+:func:`run_adaptive_serving_evaluation` covers the adaptive-serving layer:
+a fixed-configuration batch-size sweep against the online
+:class:`~repro.serve.autotune.BatchTuner`, and the LRU-vs-TinyLFU hot-set
+hit rates under adversarial unique-image spam.  These rows are
+report-only; the gated versions of the same quantities live in
+``benchmarks/test_serve_autotune.py`` and
+``benchmarks/test_cache_admission.py``, which run their own hermetic
+measurements.
 """
 
 from __future__ import annotations
@@ -37,10 +46,13 @@ from ..serve.shard import ShardedServer
 from ..serve.traffic import (
     ThroughputReport,
     coresident_interpreter_load,
+    generate_adversarial_requests,
     generate_mixed_requests,
     generate_requests,
+    replay_requests,
     run_load,
     run_naive_loop,
+    summarize_adversarial_responses,
 )
 from .context import ExperimentContext
 
@@ -49,6 +61,7 @@ __all__ = [
     "run_serving_evaluation",
     "run_sharded_serving_evaluation",
     "run_process_serving_evaluation",
+    "run_adaptive_serving_evaluation",
 ]
 
 
@@ -300,4 +313,118 @@ def run_process_serving_evaluation(
             )
             row["speedup_process_vs_thread"] = speedup
             rows.append(row)
+    return rows
+
+
+def run_adaptive_serving_evaluation(
+    context: ExperimentContext,
+    fixed_batch_sizes: Sequence[int] = (2, 8, 32),
+    num_requests: int = 256,
+    hot_set_size: int = 16,
+    spam_ratio: float = 4.0,
+    cache_size: int = 48,
+) -> List[Dict[str, object]]:
+    """Measure the two adaptive-serving controllers on the trained baseline.
+
+    **Batch autotuning.**  A unique-image stream is replayed through sync
+    servers pinned to each of ``fixed_batch_sizes`` (caches disabled so
+    the comparison isolates scheduling), then through an autotuned server
+    that starts from the *worst* fixed configuration and hill-climbs
+    online.  The controller warms up over repeated convergence passes and
+    is then frozen at its best-known rung for the measured pass (an
+    online controller is judged at the steady state it picked, not at
+    whatever probe it happens to be running).  Its row carries
+    ``speedup_vs_best_fixed`` and ``speedup_vs_worst_fixed`` plus the
+    frozen batch size.
+
+    **Cache admission.**  An adversarial stream
+    (:func:`~repro.serve.traffic.generate_adversarial_requests`:
+    ``spam_ratio``:1 unique-image spam around a ``hot_set_size`` working
+    set) is replayed through two cached sync servers that differ only in
+    ``cache_policy``.  Each row carries the per-population hit rates from
+    :func:`~repro.serve.traffic.summarize_adversarial_responses`; the
+    TinyLFU row adds ``hot_hit_rate_vs_lru``.
+
+    The baseline variant reuses the context's trained classifier.
+    Returns JSON-friendly rows keyed by ``scenario``.
+    """
+
+    registry = ModelRegistry(
+        None, image_size=context.profile.image_size, seed=context.profile.seed
+    )
+    registry.add("baseline", context.get_baseline(), persist=False)
+    registry.engine("baseline")  # compile outside every measured window
+
+    pool = context.test_set.images
+    unique_stream = generate_requests(
+        pool, num_requests, duplicate_fraction=0.0, seed=context.profile.seed
+    )
+
+    rows: List[Dict[str, object]] = []
+    fixed_rates: Dict[int, float] = {}
+    for batch_size in fixed_batch_sizes:
+        server = BatchedServer(
+            registry, max_batch_size=batch_size, cache_size=0, mode="sync"
+        )
+        report = run_load(server, unique_stream, label=f"fixed[b{batch_size}]")
+        fixed_rates[batch_size] = report.images_per_second
+        row = report.as_dict()
+        row["max_batch_size"] = batch_size
+        rows.append(row)
+
+    worst_batch = min(fixed_rates, key=fixed_rates.get)
+    autotuned = BatchedServer(
+        registry, max_batch_size=worst_batch, cache_size=0, mode="sync", autotune=True
+    )
+    # Converge online (bounded passes), then freeze at the best-known
+    # rung so the measured pass scores the controller's chosen
+    # configuration rather than its transient probing.
+    for _ in range(4):
+        run_load(autotuned, unique_stream, label="warmup")
+        if autotuned.tuner.best_rung() >= max(fixed_batch_sizes) // 2:
+            break
+    autotuned.tuner.freeze(adopt_best=True)
+    report = run_load(autotuned, unique_stream, label="autotuned[sync]")
+    best_rate, worst_rate = max(fixed_rates.values()), min(fixed_rates.values())
+    row = report.as_dict()
+    row["max_batch_size"] = autotuned.tuner.batch_size
+    row["speedup_vs_best_fixed"] = round(report.images_per_second / max(best_rate, 1e-9), 2)
+    row["speedup_vs_worst_fixed"] = round(report.images_per_second / max(worst_rate, 1e-9), 2)
+    rows.append(row)
+
+    adversarial_stream = generate_adversarial_requests(
+        pool,
+        num_requests,
+        hot_set_size=hot_set_size,
+        spam_ratio=spam_ratio,
+        seed=context.profile.seed,
+    )
+    policy_rows: Dict[str, Dict[str, object]] = {}
+    for policy in ("lru", "tinylfu"):
+        server = BatchedServer(
+            registry,
+            max_batch_size=32,
+            cache_size=cache_size,
+            cache_policy=policy,
+            mode="sync",
+        )
+        responses = replay_requests(server, adversarial_stream)
+        row: Dict[str, object] = {
+            "scenario": f"adversarial[{policy}]",
+            "requests": len(responses),
+            "cache_size": cache_size,
+            "spam_ratio": spam_ratio,
+        }
+        row.update(summarize_adversarial_responses(responses))
+        policy_rows[policy] = row
+        rows.append(row)
+    # Report the ratio only when LRU retained anything; in the expected
+    # collapse case a clamped ratio would be an artifact of the epsilon,
+    # so record null instead (the absolute rates carry the result).
+    lru_hot = float(policy_rows["lru"]["hot_hit_rate"])
+    policy_rows["tinylfu"]["hot_hit_rate_vs_lru"] = (
+        round(float(policy_rows["tinylfu"]["hot_hit_rate"]) / lru_hot, 1)
+        if lru_hot > 0
+        else None
+    )
     return rows

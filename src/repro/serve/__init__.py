@@ -8,7 +8,12 @@ workload:
 * :class:`~repro.serve.batching.MicroBatcher` -- coalesces single-image
   requests into dynamic micro-batches;
 * :class:`~repro.serve.cache.PredictionCache` -- content-addressed LRU
-  cache of probability vectors;
+  cache of probability vectors, with
+  :class:`~repro.serve.admission.TinyLFUCache` as the spam-resistant
+  alternative behind every server's ``cache_policy="tinylfu"`` knob;
+* :class:`~repro.serve.autotune.BatchTuner` -- online hill-climbing of
+  ``max_batch_size``/``max_wait`` from observed arrival rate and
+  per-batch latency (every server's ``autotune=True`` knob);
 * :class:`~repro.serve.server.BatchedServer` -- the single-queue server
   wiring the three together behind submit/predict calls (alias
   ``InferenceServer``);
@@ -41,8 +46,10 @@ See ``docs/serving.md`` for the request lifecycle and ``docs/architecture.md``
 for how the pieces fit the rest of the repo.
 """
 
+from .admission import FrequencySketch, TinyLFUCache
+from .autotune import BatchTuner
 from .batching import MicroBatcher, QueuedRequest
-from .cache import PredictionCache, image_fingerprint
+from .cache import CACHE_POLICIES, PredictionCache, image_fingerprint, make_prediction_cache
 from .frontend import SocketClient, SocketFrontend
 from .procshard import ProcessReplica
 from .registry import ModelRegistry, ModelSnapshot, classifier_from_snapshot
@@ -57,10 +64,13 @@ from .shard import (
 from .traffic import (
     ThroughputReport,
     coresident_interpreter_load,
+    generate_adversarial_requests,
     generate_mixed_requests,
     generate_requests,
+    replay_requests,
     run_load,
     run_naive_loop,
+    summarize_adversarial_responses,
     synthetic_image_pool,
 )
 from .types import (
@@ -86,7 +96,12 @@ __all__ = [
     "SocketClient",
     "MicroBatcher",
     "QueuedRequest",
+    "BatchTuner",
     "PredictionCache",
+    "TinyLFUCache",
+    "FrequencySketch",
+    "make_prediction_cache",
+    "CACHE_POLICIES",
     "image_fingerprint",
     "PredictRequest",
     "PredictResponse",
@@ -95,8 +110,11 @@ __all__ = [
     "ThroughputReport",
     "generate_requests",
     "generate_mixed_requests",
+    "generate_adversarial_requests",
+    "summarize_adversarial_responses",
     "synthetic_image_pool",
     "run_load",
+    "replay_requests",
     "run_naive_loop",
     "coresident_interpreter_load",
 ]

@@ -170,6 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="prediction-cache entries per queue/replica (0 disables)",
     )
     parser.add_argument(
+        "--cache-policy",
+        choices=("lru", "tinylfu"),
+        default="lru",
+        help="prediction-cache admission policy: recency-only LRU, or TinyLFU "
+        "(frequency-gated admission that survives adversarial unique-image spam)",
+    )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="adjust max_batch_size / max_wait online per queue/replica from "
+        "observed arrival rate and per-batch latency (--batch-size and "
+        "--max-wait-ms become the controller's starting point)",
+    )
+    parser.add_argument(
         "--compare-naive",
         action="store_true",
         help="also run the naive per-request predict loop for comparison (single-model mode)",
@@ -208,14 +222,18 @@ def _build_server(arguments: argparse.Namespace, registry: ModelRegistry, models
             max_batch_size=arguments.batch_size,
             max_wait_ms=arguments.max_wait_ms,
             cache_size=arguments.cache_size,
+            cache_policy=arguments.cache_policy,
             mode=arguments.mode,
+            autotune=arguments.autotune,
         )
     return BatchedServer(
         registry,
         max_batch_size=arguments.batch_size,
         max_wait_ms=arguments.max_wait_ms,
         cache_size=arguments.cache_size,
+        cache_policy=arguments.cache_policy,
         mode=arguments.mode,
+        autotune=arguments.autotune,
     )
 
 
@@ -245,6 +263,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit("--compare-naive only applies to single-model serving")
     if arguments.compare_single_queue and arguments.shards is None:
         raise SystemExit("--compare-single-queue only applies to --shards mode")
+    if arguments.cache_policy != "lru" and arguments.cache_size == 0:
+        raise SystemExit(
+            f"--cache-policy {arguments.cache_policy} requires a non-zero --cache-size"
+        )
+    if arguments.batch_size < 1:
+        raise SystemExit(f"--batch-size must be positive, got {arguments.batch_size}")
 
     models = (
         [name.strip() for name in arguments.shards.split(",") if name.strip()]
@@ -337,18 +361,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_batch_size=arguments.batch_size,
             max_wait_ms=arguments.max_wait_ms,
             cache_size=arguments.cache_size,
+            cache_policy=arguments.cache_policy,
             mode=single_mode,
         )
         with single:
             reports.append(run_load(single, requests, label=f"single_queue[{single_mode}]"))
 
+    mode_tag = arguments.mode + (",autotuned" if arguments.autotune else "")
     label = (
-        f"sharded[{arguments.mode},r{arguments.replicas},{arguments.routing}]"
+        f"sharded[{mode_tag},r{arguments.replicas},{arguments.routing}]"
         if arguments.shards is not None
-        else f"micro_batched[{arguments.mode}]"
+        else f"micro_batched[{mode_tag}]"
     )
     with server:
         reports.append(run_load(server, requests, label=label))
+    if arguments.autotune:
+        # BatchedServer and ProcessReplica both expose .tuner; sharded
+        # deployments have one per replica.
+        tuners = (
+            [replica.server.tuner for replica in server.all_replicas]
+            if arguments.shards is not None
+            else [server.tuner]
+        )
+        print("\nautotuner state per queue/replica:")
+        for tuner in tuners:
+            if tuner is not None:
+                print(f"  {tuner.as_dict()}")
 
     rows = [report.as_dict() for report in reports]
     print()

@@ -1,0 +1,280 @@
+"""TinyLFU cache admission: keep the hot working set under adversarial spam.
+
+The plain LRU :class:`~repro.serve.cache.PredictionCache` admits every
+miss, so *recency is the only signal* -- and recency is exactly what an
+attacker controls.  The black-box query attacks in PAPERS.md probe a
+defended classifier with floods of unique images; each unique probe is a
+miss, each miss is an insert, and a stream of inserts larger than the
+cache capacity evicts the legitimate hot working set between its own
+accesses.  Under 4:1 spam the hot set's hit rate collapses to ~0 (the
+ROADMAP's "adversarial eviction" threat).
+
+TinyLFU (Einziger et al., the policy behind Caffeine's W-TinyLFU) fixes
+admission, not eviction: an entry only *enters* the main cache region by
+winning a frequency duel against the entry it would evict.
+
+* :class:`FrequencySketch` -- a count-min sketch of 4-bit counters
+  estimating each key's access frequency in O(1) space, with periodic
+  halving ("aging") so the estimate tracks a sliding window rather than
+  all of history;
+* :class:`TinyLFUCache` -- a small *window* LRU (a fixed fraction of
+  capacity) that absorbs new arrivals plus a *main* LRU region guarded by
+  the sketch: a candidate evicted from the window is admitted to a full
+  main region only when its estimated frequency strictly exceeds the main
+  region's eviction victim.
+
+One-shot spam has frequency 1 and never beats a hot entry, so the hot
+working set stays cached no matter how much unique traffic the attacker
+floods; a *newly* hot image accumulates sketch counts within a few
+accesses and wins its duel, so the cache still adapts to legitimate
+working-set drift.
+
+The class mirrors the :class:`~repro.serve.cache.PredictionCache` surface
+(``get``/``put``/``clear``/``enabled``/``hit_rate``/counters), so every
+server slots it in behind the ``cache_policy="tinylfu"`` knob without any
+other change.  Thread-safety matches too: one internal lock guards the
+segments and the sketch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FrequencySketch", "TinyLFUCache"]
+
+
+class FrequencySketch:
+    """Count-min sketch of 4-bit counters with periodic halving (aging).
+
+    Estimates how often each key has been accessed using ``depth`` rows of
+    saturating counters (capped at 15, the 4-bit maximum -- TinyLFU only
+    needs to rank candidates, not count precisely).  After
+    ``sample_factor * capacity`` recorded accesses every counter is halved,
+    so old traffic fades and the estimate approximates frequency over a
+    sliding window of recent accesses.
+
+    Parameters
+    ----------
+    capacity:
+        Cache capacity the sketch protects; sizes the counter table
+        (a power of two at least eight counters per cache entry) and the
+        aging period.
+    depth:
+        Number of hash rows; the estimate is the minimum over rows.
+    counter_bits:
+        Bits per counter (counters saturate at ``2**counter_bits - 1``).
+    sample_factor:
+        Aging period in units of ``capacity`` accesses.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        depth: int = 4,
+        counter_bits: int = 4,
+        sample_factor: int = 10,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if not 1 <= depth <= 8:
+            # blake2b yields at most 64 digest bytes = 8 row indices.
+            raise ValueError("depth must be in [1, 8]")
+        if not 1 <= counter_bits <= 8:
+            raise ValueError("counter_bits must be in [1, 8]")
+        if sample_factor < 1:
+            raise ValueError("sample_factor must be positive")
+        width = 64
+        while width < 8 * capacity:
+            width *= 2
+        self.width = width
+        self.depth = depth
+        self.counter_max = (1 << counter_bits) - 1
+        self.sample_limit = sample_factor * capacity
+        self.samples = 0
+        self.agings = 0
+        self._table = np.zeros((depth, width), dtype=np.uint8)
+        self._rows = np.arange(depth)
+
+    def _indices(self, key: str) -> np.ndarray:
+        """One counter index per row for ``key`` (independent hash slices)."""
+
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8 * self.depth).digest()
+        raw = np.frombuffer(digest, dtype=np.uint64)
+        return (raw % np.uint64(self.width)).astype(np.intp)
+
+    def increment(self, key: str) -> None:
+        """Record one access of ``key`` (counters saturate; ages periodically)."""
+
+        columns = self._indices(key)
+        cells = self._table[self._rows, columns]
+        self._table[self._rows, columns] = np.minimum(cells + 1, self.counter_max)
+        self.samples += 1
+        if self.samples >= self.sample_limit:
+            self._table >>= 1
+            self.samples //= 2
+            self.agings += 1
+
+    def estimate(self, key: str) -> int:
+        """Estimated access count of ``key`` (minimum over the sketch rows)."""
+
+        return int(self._table[self._rows, self._indices(key)].min())
+
+
+class TinyLFUCache:
+    """W-TinyLFU prediction cache: windowed LRU plus frequency-gated main region.
+
+    Drop-in peer of :class:`~repro.serve.cache.PredictionCache` (same
+    ``get``/``put``/``clear`` surface and counters) selected via
+    ``cache_policy="tinylfu"`` on any server.  Capacity is split into a
+    small admission *window* (``window_fraction`` of ``max_entries``, at
+    least one entry) that absorbs every new insert, and a *main* region
+    that entries only enter by winning a :class:`FrequencySketch` duel
+    against the main region's LRU eviction victim.
+
+    Parameters
+    ----------
+    max_entries:
+        Total capacity (window + main); ``0`` disables the cache.
+    window_fraction:
+        Fraction of capacity given to the admission window (the W-TinyLFU
+        paper's default of ~1% suits large caches; small serving caches
+        round up to one entry).
+    sketch_sample_factor:
+        Aging period of the frequency sketch, in units of capacity.
+    """
+
+    #: Admission-policy name (see :func:`~repro.serve.cache.make_prediction_cache`).
+    policy = "tinylfu"
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        window_fraction: float = 0.01,
+        sketch_sample_factor: int = 10,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        if not 0.0 < window_fraction < 1.0:
+            raise ValueError("window_fraction must be in (0, 1)")
+        self.max_entries = max_entries
+        self.window_size = max(1, int(round(max_entries * window_fraction))) if max_entries else 0
+        self.main_size = max_entries - self.window_size
+        self.sketch = FrequencySketch(
+            max(max_entries, 1), sample_factor=sketch_sample_factor
+        )
+        self._window: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._main: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._window) + len(self._main)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache can hold any entries at all."""
+
+        return self.max_entries > 0
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """Return the cached probability vector for ``key`` or ``None``.
+
+        Every lookup -- hit or miss -- feeds the frequency sketch; that is
+        the access history later admission duels are decided on.  Hits
+        refresh the entry's LRU position within its segment.
+        """
+
+        if not self.enabled:
+            self.misses += 1
+            return None
+        with self._lock:
+            self.sketch.increment(key)
+            for segment in (self._window, self._main):
+                probabilities = segment.get(key)
+                if probabilities is not None:
+                    segment.move_to_end(key)
+                    self.hits += 1
+                    return probabilities
+            self.misses += 1
+            return None
+
+    def put(self, key: str, probabilities: np.ndarray) -> None:
+        """Insert an entry through the admission pipeline.
+
+        New entries land in the window; the entry the window overflows is
+        admitted to the main region only if the main region has room or
+        the candidate's sketch frequency strictly exceeds that of the main
+        region's LRU victim (which is evicted).  Losing candidates are
+        dropped -- that refusal is what spam cannot get past.
+        """
+
+        if not self.enabled:
+            return
+        # Freeze a private copy, same contract as PredictionCache: hit
+        # results are shared by reference with every future caller.
+        probabilities = np.array(probabilities, copy=True)
+        probabilities.flags.writeable = False
+        with self._lock:
+            if key in self._main:
+                self._main[key] = probabilities
+                self._main.move_to_end(key)
+                return
+            if key in self._window:
+                self._window[key] = probabilities
+                self._window.move_to_end(key)
+                return
+            self._window[key] = probabilities
+            while len(self._window) > self.window_size:
+                candidate_key, candidate_value = self._window.popitem(last=False)
+                self._admit_locked(candidate_key, candidate_value)
+
+    def _admit_locked(self, key: str, value: np.ndarray) -> None:
+        """Run one admission duel for a window-evicted candidate."""
+
+        if len(self._main) < self.main_size:
+            self._main[key] = value
+            self.admitted += 1
+            return
+        if self.main_size == 0:
+            self.evictions += 1
+            self.rejected += 1
+            return
+        victim_key = next(iter(self._main))
+        if self.sketch.estimate(key) > self.sketch.estimate(victim_key):
+            del self._main[victim_key]
+            self._main[key] = value
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters and sketch history are preserved)."""
+
+        with self._lock:
+            self._window.clear()
+            self._main.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TinyLFUCache(entries={len(self)}/{self.max_entries}, "
+            f"window={len(self._window)}/{self.window_size}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"admitted={self.admitted}, rejected={self.rejected})"
+        )

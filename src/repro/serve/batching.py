@@ -21,6 +21,13 @@ The batcher is model-agnostic: it resolves each batch through a
 the owner (the :class:`~repro.serve.server.InferenceServer`).  Requests for
 different models submitted concurrently are grouped per model before being
 run.
+
+When a :class:`~repro.serve.autotune.BatchTuner` is attached, the batcher
+closes the autotuning loop: every submit feeds the tuner's arrival-rate
+estimate, every executed batch reports its size and latency, and the
+scheduler re-reads the recommended ``max_batch_size`` / ``max_wait`` after
+each batch -- so both knobs track the observed traffic online instead of
+staying at their constructor values.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .autotune import BatchTuner
 from .types import PredictRequest, PredictResponse
 
 __all__ = ["QueuedRequest", "MicroBatcher"]
@@ -63,6 +71,12 @@ class MicroBatcher:
         a batch arrives (thread mode only).
     mode:
         ``"thread"`` or ``"sync"`` (see module docstring).
+    tuner:
+        Optional :class:`~repro.serve.autotune.BatchTuner`; when given,
+        ``max_batch_size``/``max_wait`` start from (and keep following)
+        the tuner's recommendation instead of the constructor values.
+        The tuner object is owned by the server, so its learned state
+        survives scheduler rebuilds on :meth:`~repro.serve.server.BatchedServer.restart`.
     """
 
     def __init__(
@@ -71,6 +85,7 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_wait: float = 0.002,
         mode: str = "thread",
+        tuner: Optional[BatchTuner] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
@@ -79,6 +94,9 @@ class MicroBatcher:
         if mode not in {"thread", "sync"}:
             raise ValueError(f"unknown mode {mode!r}; expected 'thread' or 'sync'")
         self.batch_runner = batch_runner
+        self.tuner = tuner
+        if tuner is not None:
+            max_batch_size, max_wait = tuner.recommend()
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
         self.mode = mode
@@ -142,6 +160,8 @@ class MicroBatcher:
         """Enqueue one request; returns a future for its response."""
 
         item = QueuedRequest(request)
+        if self.tuner is not None:
+            self.tuner.record_arrival(item.submitted_at)
         if self.mode == "sync":
             with self._lock:
                 self._pending.append(item)
@@ -206,10 +226,7 @@ class MicroBatcher:
             return
         with self._lock:
             pending, self._pending = self._pending, []
-        # Chunk to max_batch_size so a large backlog still runs in
-        # bounded-size forwards.
-        for start in range(0, len(pending), self.max_batch_size):
-            self._run_batch(pending[start : start + self.max_batch_size])
+        self._run_chunked(pending)
 
     # ------------------------------------------------------------------
     # Execution
@@ -252,8 +269,20 @@ class MicroBatcher:
                 break
             if item is not None:
                 leftovers.append(item)
-        for start in range(0, len(leftovers), self.max_batch_size):
-            self._run_batch(leftovers[start : start + self.max_batch_size])
+        self._run_chunked(leftovers)
+
+    def _run_chunked(self, items: Sequence[QueuedRequest]) -> None:
+        """Run a backlog in bounded-size batches.
+
+        The chunk limit is re-read before every batch because a tuner may
+        adjust ``max_batch_size`` after each executed one.
+        """
+
+        start = 0
+        while start < len(items):
+            size = max(1, self.max_batch_size)
+            self._run_batch(items[start : start + size])
+            start += size
 
     def _run_batch(self, batch: Sequence[QueuedRequest]) -> None:
         if not batch:
@@ -264,10 +293,17 @@ class MicroBatcher:
             groups.setdefault(item.request.model, []).append(item)
         for model_name, items in groups.items():
             try:
+                run_started = time.perf_counter()
                 responses = self.batch_runner(model_name, items)
+                if self.tuner is not None:
+                    self.tuner.record_batch(
+                        len(items), time.perf_counter() - run_started
+                    )
                 for item, response in zip(items, responses):
                     item.future.set_result(response)
             except Exception as error:  # propagate to every waiter, keep serving
                 for item in items:
                     if not item.future.done():
                         item.future.set_exception(error)
+        if self.tuner is not None:
+            self.max_batch_size, self.max_wait = self.tuner.recommend()

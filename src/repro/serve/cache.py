@@ -8,6 +8,12 @@ share an entry regardless of who submitted them.
 
 The cache is thread-safe: the serving worker thread fills it while caller
 threads probe it.
+
+LRU admission is recency-only and an adversary controls recency (spamming
+unique images evicts the legitimate working set); the
+``cache_policy="tinylfu"`` knob on every server swaps in the
+frequency-gated :class:`~repro.serve.admission.TinyLFUCache` instead --
+see :mod:`repro.serve.admission` and :func:`make_prediction_cache`.
 """
 
 from __future__ import annotations
@@ -19,7 +25,32 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["image_fingerprint", "PredictionCache"]
+__all__ = ["image_fingerprint", "PredictionCache", "make_prediction_cache", "CACHE_POLICIES"]
+
+#: Known ``cache_policy`` names accepted by :func:`make_prediction_cache`.
+CACHE_POLICIES = ("lru", "tinylfu")
+
+
+def make_prediction_cache(policy: str = "lru", max_entries: int = 1024):
+    """Build a prediction cache of the requested admission ``policy``.
+
+    ``"lru"`` returns the recency-only :class:`PredictionCache`;
+    ``"tinylfu"`` returns the frequency-gated
+    :class:`~repro.serve.admission.TinyLFUCache` (see
+    :mod:`repro.serve.admission` for the adversarial-eviction threat it
+    defends against).  Both expose the same ``get``/``put``/``clear``
+    surface, so servers are policy-agnostic.
+    """
+
+    if policy == "lru":
+        return PredictionCache(max_entries)
+    if policy == "tinylfu":
+        from .admission import TinyLFUCache
+
+        return TinyLFUCache(max_entries)
+    raise ValueError(
+        f"unknown cache_policy {policy!r}; expected one of {list(CACHE_POLICIES)}"
+    )
 
 
 def image_fingerprint(model: str, image: np.ndarray) -> str:
@@ -48,6 +79,9 @@ class PredictionCache:
         Capacity; the least-recently-used entry is evicted at overflow.
         ``0`` disables the cache (every lookup misses, puts are dropped).
     """
+
+    #: Admission-policy name (see :func:`make_prediction_cache`).
+    policy = "lru"
 
     def __init__(self, max_entries: int = 1024) -> None:
         if max_entries < 0:

@@ -48,8 +48,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..data.signs import SIGN_CLASSES
+from .autotune import BatchTuner
 from .batching import QueuedRequest
-from .cache import PredictionCache, image_fingerprint
+from .cache import image_fingerprint, make_prediction_cache
 from .registry import ModelSnapshot, classifier_from_snapshot
 from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
 
@@ -144,7 +145,17 @@ class ProcessReplica:
     max_batch_size:
         Upper bound on requests folded into one worker round trip.
     cache_size:
-        Parent-side LRU prediction-cache capacity; 0 disables caching.
+        Parent-side prediction-cache capacity; 0 disables caching.
+    cache_policy:
+        Admission policy of the parent-side cache: ``"lru"`` or
+        ``"tinylfu"`` (see :mod:`repro.serve.admission`).
+    autotune:
+        When True a parent-side :class:`~repro.serve.autotune.BatchTuner`
+        adjusts ``max_batch_size`` online from the dispatch-to-completion
+        latency of each worker round trip (process batching is
+        busy-driven, so there is no wait knob to tune).  The tuner lives
+        on the replica object (``self.tuner``), not the worker, so its
+        learned state survives worker crash-restarts.
     class_names:
         Human-readable class labels; defaults to the 18 LISA sign classes.
     allowed_models:
@@ -166,6 +177,8 @@ class ProcessReplica:
         *,
         max_batch_size: int = 32,
         cache_size: int = 1024,
+        cache_policy: str = "lru",
+        autotune: bool = False,
         class_names: Optional[Sequence[str]] = None,
         allowed_models: Optional[Sequence[str]] = None,
         shard_id: Optional[str] = None,
@@ -176,7 +189,20 @@ class ProcessReplica:
             raise ValueError("max_batch_size must be positive")
         self.snapshot_factory = snapshot_factory
         self.max_batch_size = max_batch_size
-        self.cache = PredictionCache(cache_size)
+        # Starting point, not a clamp: widen the ladder to include an
+        # explicit max_batch_size above the default bound.
+        self.tuner = (
+            BatchTuner(
+                initial_batch_size=max_batch_size,
+                min_batch_size=min(2, max_batch_size),
+                max_batch_size=max(64, max_batch_size),
+            )
+            if autotune
+            else None
+        )
+        if self.tuner is not None:
+            self.max_batch_size = self.tuner.batch_size
+        self.cache = make_prediction_cache(cache_policy, cache_size)
         self.class_names = (
             list(class_names) if class_names is not None else list(SIGN_CLASSES)
         )
@@ -194,6 +220,7 @@ class ProcessReplica:
         self._idle = threading.Condition(self._lock)
         self._buffer: List[QueuedRequest] = []
         self._inflight: Dict[int, List[QueuedRequest]] = {}
+        self._dispatch_times: Dict[int, float] = {}
         self._next_batch_id = 0
         self._busy = False
         self._running = False
@@ -300,6 +327,7 @@ class ProcessReplica:
             stranded: List[QueuedRequest] = []
             for batch_id in sorted(self._inflight):
                 stranded.extend(self._inflight.pop(batch_id))
+            self._dispatch_times.clear()
             stranded.extend(self._buffer)
             self._buffer = []
         for item in stranded:
@@ -326,6 +354,7 @@ class ProcessReplica:
             stranded: List[QueuedRequest] = []
             for batch_id in sorted(self._inflight):
                 stranded.extend(self._inflight.pop(batch_id))
+            self._dispatch_times.clear()
             stranded.extend(self._buffer)
             self._buffer = []
             self._busy = False
@@ -406,6 +435,9 @@ class ProcessReplica:
                     )
                 )
                 return future
+        # (No tuner.record_arrival here: process batching is busy-driven,
+        # there is no wait knob for the arrival-rate estimate to feed, so
+        # the bookkeeping would be pure per-submit lock contention.)
         item = QueuedRequest(request)
         with self._lock:
             if not self._running or self._worker_dead:
@@ -449,6 +481,7 @@ class ProcessReplica:
         self._next_batch_id += 1
         batch_id = self._next_batch_id
         self._inflight[batch_id] = batch
+        self._dispatch_times[batch_id] = time.perf_counter()
         images = np.stack([item.request.image for item in batch]).astype(
             np.float32, copy=False
         )
@@ -484,8 +517,14 @@ class ProcessReplica:
         now = time.perf_counter()
         with self._lock:
             batch = self._inflight.pop(batch_id, [])
+            dispatched_at = self._dispatch_times.pop(batch_id, None)
             if probabilities is not None and batch:
                 self.stats.record_batch(len(batch))
+                if self.tuner is not None and dispatched_at is not None:
+                    # The round trip (IPC + worker forward) is the batch
+                    # latency the controller optimizes in process mode.
+                    self.tuner.record_batch(len(batch), now - dispatched_at)
+                    self.max_batch_size = self.tuner.batch_size
             # Feed the worker its next batch before resolving futures, so
             # it computes while the parent runs response callbacks.
             if self._buffer and not self._worker_dead:

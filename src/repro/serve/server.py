@@ -43,8 +43,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..data.signs import SIGN_CLASSES
+from .autotune import BatchTuner
 from .batching import MicroBatcher, QueuedRequest
-from .cache import PredictionCache, image_fingerprint
+from .cache import image_fingerprint, make_prediction_cache
 from .registry import ModelRegistry
 from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
 
@@ -64,10 +65,27 @@ class BatchedServer:
         Milliseconds the thread-mode scheduler waits for stragglers after
         the first request of a batch (ignored in sync mode).
     cache_size:
-        LRU prediction-cache capacity; 0 disables caching.
+        Prediction-cache capacity; 0 disables caching.
+    cache_policy:
+        ``"lru"`` (recency-only admission, the default) or ``"tinylfu"``
+        (frequency-gated admission that survives adversarial unique-image
+        spam -- see :mod:`repro.serve.admission`).
     mode:
         ``"thread"`` for the background-worker scheduler, ``"sync"`` for
         the deterministic in-process scheduler.
+    autotune:
+        When True, a per-server :class:`~repro.serve.autotune.BatchTuner`
+        adjusts ``max_batch_size``/``max_wait`` online from observed
+        arrival rate and per-batch latency (the constructor values become
+        the tuner's starting point).  The tuner -- exposed as
+        ``self.tuner`` -- survives :meth:`restart`, so a revived scheduler
+        resumes from the tuned settings instead of relearning.
+    tuner:
+        A pre-configured :class:`~repro.serve.autotune.BatchTuner` to use
+        instead of the default one ``autotune=True`` would build -- for
+        callers that need non-default controller constants (epoch sizing,
+        dead band, hold length).  Supplying a tuner implies autotuning;
+        its own initial values win over ``max_batch_size``/``max_wait_ms``.
     class_names:
         Human-readable class labels; defaults to the 18 LISA sign classes.
     allowed_models:
@@ -87,21 +105,40 @@ class BatchedServer:
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
+        cache_policy: str = "lru",
         mode: str = "thread",
+        autotune: bool = False,
+        tuner: Optional[BatchTuner] = None,
         class_names: Optional[Sequence[str]] = None,
         allowed_models: Optional[Sequence[str]] = None,
         shard_id: Optional[str] = None,
     ) -> None:
         self.registry = registry
-        self.cache = PredictionCache(cache_size)
+        self.cache = make_prediction_cache(cache_policy, cache_size)
         self.class_names = list(class_names) if class_names is not None else list(SIGN_CLASSES)
         self.allowed_models = frozenset(allowed_models) if allowed_models is not None else None
         self.shard_id = shard_id
         self.stats = ServerStats()
+        # The constructor values are the tuner's *starting point*, so the
+        # ladder/wait bounds widen to include them when they sit outside
+        # the defaults -- autotune must never silently clamp an explicit
+        # configuration.  An injected tuner is used as given.
+        max_wait_s = max_wait_ms / 1000.0
+        if tuner is None and autotune:
+            tuner = BatchTuner(
+                initial_batch_size=max_batch_size,
+                initial_wait=max_wait_s,
+                min_batch_size=min(2, max_batch_size),
+                max_batch_size=max(64, max_batch_size),
+                min_wait=min(0.0005, max_wait_s),
+                max_wait=max(0.010, max_wait_s),
+            )
+        self.tuner = tuner
         self._batcher_settings = {
             "max_batch_size": max_batch_size,
             "max_wait": max_wait_ms / 1000.0,
             "mode": mode,
+            "tuner": self.tuner,
         }
         self.batcher = MicroBatcher(self._run_batch, **self._batcher_settings)
 

@@ -210,6 +210,15 @@ class ShardedServer:
     routing:
         ``"round_robin"``, ``"least_loaded"``, or a
         :class:`RoutingPolicy` instance for custom strategies.
+    cache_policy:
+        Admission policy of every replica's prediction cache: ``"lru"``
+        or ``"tinylfu"`` (see :mod:`repro.serve.admission`).
+    autotune:
+        When True every replica owns a private
+        :class:`~repro.serve.autotune.BatchTuner` that adjusts its
+        ``max_batch_size``/``max_wait`` online -- per-replica, because
+        each shard sees different traffic.  Tuner state survives replica
+        crash-restarts (thread and process modes alike).
     max_batch_size, max_wait_ms, cache_size, mode, class_names:
         Forwarded to every embedded replica server; note ``cache_size`` is
         *per replica* -- sharding multiplies total cache capacity, which is
@@ -238,7 +247,9 @@ class ShardedServer:
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
+        cache_policy: str = "lru",
         mode: str = "thread",
+        autotune: bool = False,
         class_names: Optional[Sequence[str]] = None,
     ) -> None:
         if not models:
@@ -265,6 +276,8 @@ class ShardedServer:
             "max_batch_size": max_batch_size,
             "max_wait_ms": max_wait_ms,
             "cache_size": cache_size,
+            "cache_policy": cache_policy,
+            "autotune": autotune,
             "class_names": class_names,
         }
         self._rejected = 0
@@ -286,6 +299,8 @@ class ShardedServer:
                 lambda name=model: self.registry.snapshot(name),
                 max_batch_size=self._replica_settings["max_batch_size"],
                 cache_size=self._replica_settings["cache_size"],
+                cache_policy=self._replica_settings["cache_policy"],
+                autotune=self._replica_settings["autotune"],
                 class_names=self._replica_settings["class_names"],
                 allowed_models=(model,),
                 shard_id=f"{model}/{index}",
@@ -295,7 +310,9 @@ class ShardedServer:
             max_batch_size=self._replica_settings["max_batch_size"],
             max_wait_ms=self._replica_settings["max_wait_ms"],
             cache_size=self._replica_settings["cache_size"],
+            cache_policy=self._replica_settings["cache_policy"],
             mode=self._mode,
+            autotune=self._replica_settings["autotune"],
             class_names=self._replica_settings["class_names"],
             allowed_models=(model,),
             shard_id=f"{model}/{index}",

@@ -7,6 +7,10 @@ that with a pool of distinct images plus a configurable
 cache); :func:`generate_mixed_requests` extends it to multi-model traffic
 -- the request stream interleaves several defense variants, the scenario
 that motivates :class:`~repro.serve.shard.ShardedServer`.
+:func:`generate_adversarial_requests` models the opposite of repetition:
+an attacker flooding unique images to evict the legitimate hot set from
+the prediction cache (the workload behind the ``cache_policy="tinylfu"``
+admission knob).
 :func:`run_load` pushes a request stream through any server exposing
 ``submit``/``mode``/``flush`` (single-queue or sharded) while measuring
 wall-clock throughput and per-request latency.
@@ -32,8 +36,11 @@ __all__ = [
     "synthetic_image_pool",
     "generate_requests",
     "generate_mixed_requests",
+    "generate_adversarial_requests",
+    "summarize_adversarial_responses",
     "ThroughputReport",
     "run_load",
+    "replay_requests",
     "run_naive_loop",
     "coresident_interpreter_load",
 ]
@@ -195,6 +202,113 @@ def generate_mixed_requests(
     return requests
 
 
+def generate_adversarial_requests(
+    pool: np.ndarray,
+    num_requests: int,
+    hot_set_size: int = 16,
+    spam_ratio: float = 4.0,
+    model: str = "baseline",
+    seed: int = 0,
+) -> List[PredictRequest]:
+    """Build a cache-hostile stream: unique-image spam around a hot working set.
+
+    Models the adversarial-eviction threat from the ROADMAP (and the
+    black-box query attacks in PAPERS.md): an attacker floods the server
+    with *unique* images -- every one a guaranteed cache miss and, under
+    recency-only admission, a guaranteed insert that evicts legitimate
+    entries -- while real traffic keeps revisiting a small hot set of
+    ``hot_set_size`` pool images (cycled round-robin, bit-identical, so
+    they are cache-hittable).
+
+    Spam images are fresh random noise, unique per request and disjoint
+    from the pool.  Request ids are prefixed ``"hot-"`` / ``"spam-"`` so
+    measurements can compute per-population hit rates afterwards (see
+    :func:`summarize_adversarial_responses`).
+
+    Parameters
+    ----------
+    pool:
+        ``(P, 3, H, W)`` stack of legitimate images; the first
+        ``hot_set_size`` form the hot working set.
+    num_requests:
+        Length of the stream.
+    hot_set_size:
+        Size of the legitimate working set (at most ``len(pool)``).
+    spam_ratio:
+        Adversarial-to-legitimate traffic ratio: each position is spam
+        with probability ``spam_ratio / (spam_ratio + 1)`` (4.0 models
+        the 4:1 flood of the benchmark gate).
+    model:
+        Model variant name stamped on every request.
+    seed:
+        Seed of spam placement and spam image noise.
+    """
+
+    if len(pool) == 0:
+        raise ValueError("image pool is empty")
+    if not 1 <= hot_set_size <= len(pool):
+        raise ValueError(
+            f"hot_set_size must be in [1, {len(pool)}], got {hot_set_size}"
+        )
+    if spam_ratio < 0:
+        raise ValueError("spam_ratio must be non-negative")
+    rng = np.random.default_rng(seed)
+    spam_probability = spam_ratio / (spam_ratio + 1.0)
+    image_shape = pool.shape[1:]
+    requests: List[PredictRequest] = []
+    hot_arrivals = 0
+    for position in range(num_requests):
+        if rng.random() < spam_probability:
+            image = rng.random(image_shape, dtype=np.float64)
+            requests.append(
+                PredictRequest(
+                    image=image, model=model, request_id=f"spam-{position:06d}"
+                )
+            )
+        else:
+            image = pool[hot_arrivals % hot_set_size]
+            hot_arrivals += 1
+            requests.append(
+                PredictRequest(
+                    image=image, model=model, request_id=f"hot-{position:06d}"
+                )
+            )
+    return requests
+
+
+def summarize_adversarial_responses(
+    responses: Sequence[PredictResponse],
+) -> Dict[str, float]:
+    """Per-population cache statistics of one adversarial-stream run.
+
+    Splits responses by the ``"hot-"`` / ``"spam-"`` request-id prefixes
+    stamped by :func:`generate_adversarial_requests` and returns request
+    counts, hit counts and hit rates for each population.  The
+    ``hot_hit_rate`` is the number the admission-policy gate
+    (``benchmarks/test_cache_admission.py``) asserts on: it measures
+    whether legitimate users still benefit from the cache while the
+    attacker floods it.
+    """
+
+    hot_requests = hot_hits = spam_requests = spam_hits = 0
+    for response in responses:
+        request_id = response.request_id or ""
+        if request_id.startswith("hot-"):
+            hot_requests += 1
+            hot_hits += bool(response.cache_hit)
+        elif request_id.startswith("spam-"):
+            spam_requests += 1
+            spam_hits += bool(response.cache_hit)
+    return {
+        "hot_requests": hot_requests,
+        "hot_hits": hot_hits,
+        "hot_hit_rate": hot_hits / hot_requests if hot_requests else 0.0,
+        "spam_requests": spam_requests,
+        "spam_hits": spam_hits,
+        "spam_hit_rate": spam_hits / spam_requests if spam_requests else 0.0,
+    }
+
+
 @dataclass
 class ThroughputReport:
     """Result of one load run: throughput, latency distribution, serving stats."""
@@ -283,6 +397,23 @@ def run_load(
         mean_batch_size=(window_images / window_batches) if window_batches else 0.0,
         batches=window_batches,
     )
+
+
+def replay_requests(server, requests: Sequence[PredictRequest]) -> List[PredictResponse]:
+    """Push a request stream through ``server`` and return the responses.
+
+    Like :func:`run_load` but for consumers that need the individual
+    responses (e.g. per-population cache accounting via
+    :func:`summarize_adversarial_responses`) rather than aggregate
+    throughput.  ``server`` is anything with ``submit``/``mode``/``flush``;
+    sync-mode schedulers are flushed before the futures are awaited, and
+    responses come back in submission order.
+    """
+
+    futures = [server.submit(request) for request in requests]
+    if server.mode == "sync":
+        server.flush()
+    return [future.result() for future in futures]
 
 
 def run_naive_loop(

@@ -1,0 +1,297 @@
+"""Tests for TinyLFU cache admission (repro.serve.admission).
+
+Unit-level: the frequency sketch (counting, saturation, aging) and the
+W-TinyLFU segment mechanics (window overflow, admission duels, refresh).
+
+Regression-level: the adversarial-eviction scenario from the ROADMAP --
+under a 4:1 unique-image spam flood, plain LRU demonstrably loses the hot
+working set while TinyLFU keeps serving it.  This pins the threat model:
+if admission ever regresses to recency-only behavior, these tests fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DefenseConfig, DefendedClassifier
+from repro.serve import (
+    BatchedServer,
+    FrequencySketch,
+    ModelRegistry,
+    PredictionCache,
+    TinyLFUCache,
+    generate_adversarial_requests,
+    make_prediction_cache,
+    replay_requests,
+    summarize_adversarial_responses,
+    synthetic_image_pool,
+)
+
+IMAGE_SIZE = 16
+
+
+class TestFrequencySketch:
+    def test_counts_accumulate_and_estimate(self):
+        sketch = FrequencySketch(64)
+        assert sketch.estimate("k") == 0
+        for _ in range(5):
+            sketch.increment("k")
+        assert sketch.estimate("k") == 5
+        assert sketch.estimate("other") == 0
+
+    def test_counters_saturate_at_four_bits(self):
+        sketch = FrequencySketch(64)
+        for _ in range(100):
+            sketch.increment("k")
+        assert sketch.estimate("k") == 15
+
+    def test_aging_halves_counts(self):
+        sketch = FrequencySketch(4, sample_factor=4)  # aging every 16 samples
+        for _ in range(10):
+            sketch.increment("hot")
+        before = sketch.estimate("hot")
+        for index in range(6):  # push total samples to the aging limit
+            sketch.increment(f"filler-{index}")
+        assert sketch.agings == 1
+        assert sketch.estimate("hot") == before // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencySketch(0)
+        with pytest.raises(ValueError):
+            FrequencySketch(8, depth=0)
+        with pytest.raises(ValueError):
+            FrequencySketch(8, depth=9)  # blake2b caps at 8 row indices
+        with pytest.raises(ValueError):
+            FrequencySketch(8, counter_bits=0)
+        with pytest.raises(ValueError):
+            FrequencySketch(8, sample_factor=0)
+
+
+def _value(tag: float) -> np.ndarray:
+    return np.array([tag, 1.0 - tag])
+
+
+class TestTinyLFUCache:
+    def test_factory_builds_both_policies(self):
+        assert isinstance(make_prediction_cache("lru", 8), PredictionCache)
+        assert isinstance(make_prediction_cache("tinylfu", 8), TinyLFUCache)
+        with pytest.raises(ValueError):
+            make_prediction_cache("arc", 8)
+
+    def test_basic_get_put_and_hit_rate(self):
+        cache = TinyLFUCache(8)
+        assert cache.get("a") is None
+        cache.put("a", _value(0.25))
+        hit = cache.get("a")
+        assert hit is not None
+        assert np.allclose(hit, [0.25, 0.75])
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_values_are_frozen_copies(self):
+        cache = TinyLFUCache(8)
+        original = np.array([0.5, 0.5])
+        cache.put("a", original)
+        original[0] = 99.0
+        hit = cache.get("a")
+        assert np.allclose(hit, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            hit[0] = 1.0
+
+    def test_zero_capacity_disables(self):
+        cache = TinyLFUCache(0)
+        assert not cache.enabled
+        cache.put("a", _value(0.5))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_capacity_split_and_bound(self):
+        cache = TinyLFUCache(100)
+        assert cache.window_size == 1
+        assert cache.main_size == 99
+        for index in range(300):
+            key = f"k{index}"
+            cache.get(key)
+            cache.put(key, _value(0.5))
+        assert len(cache) <= 100
+
+    def test_one_shot_candidate_cannot_evict_frequent_victim(self):
+        cache = TinyLFUCache(4)  # window 1, main 3
+        # Build up frequency for the hot keys, filling main.
+        for _ in range(4):
+            for key in ("hot-a", "hot-b", "hot-c"):
+                cache.get(key)
+                cache.put(key, _value(0.5))
+        # Flood one-shot keys: each is seen once, loses its duel, and the
+        # hot keys stay servable.
+        for index in range(50):
+            key = f"spam-{index}"
+            cache.get(key)
+            cache.put(key, _value(0.1))
+        for key in ("hot-a", "hot-b", "hot-c"):
+            assert cache.get(key) is not None, f"{key} was evicted by one-shot spam"
+        assert cache.rejected > 0
+
+    def test_newly_hot_key_wins_admission(self):
+        cache = TinyLFUCache(4)
+        for _ in range(4):
+            for key in ("old-a", "old-b", "old-c"):
+                cache.get(key)
+                cache.put(key, _value(0.5))
+        # A key that keeps coming back accumulates sketch counts and must
+        # eventually displace something even though main is full.
+        for _ in range(8):
+            if cache.get("rising") is None:
+                cache.put("rising", _value(0.9))
+        assert cache.get("rising") is not None
+
+    def test_refresh_updates_value_in_place(self):
+        cache = TinyLFUCache(8)
+        cache.put("a", _value(0.2))
+        cache.put("a", _value(0.8))
+        assert np.allclose(cache.get("a"), [0.8, 0.2])
+        assert len(cache) == 1
+
+    def test_clear_preserves_counters(self):
+        cache = TinyLFUCache(8)
+        cache.put("a", _value(0.5))
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TinyLFUCache(-1)
+        with pytest.raises(ValueError):
+            TinyLFUCache(8, window_fraction=0.0)
+        with pytest.raises(ValueError):
+            TinyLFUCache(8, window_fraction=1.0)
+
+
+# ----------------------------------------------------------------------
+# The adversarial-eviction regression scenario (ROADMAP threat model)
+# ----------------------------------------------------------------------
+HOT_SET = 24
+CACHE_CAPACITY = 64
+SPAM_RATIO = 4.0
+
+
+def _replay_adversarial_keys(cache, num_requests: int = 3000, seed: int = 0):
+    """Replay the get-then-put protocol of a server on an adversarial key stream.
+
+    Returns (hot_lookups, hot_hits): hot keys cycle a 24-key working set,
+    spam keys are unique, mixed 4:1 -- the key-level shadow of
+    :func:`repro.serve.traffic.generate_adversarial_requests`.
+    """
+
+    rng = np.random.default_rng(seed)
+    spam_probability = SPAM_RATIO / (SPAM_RATIO + 1.0)
+    value = np.array([1.0])
+    hot_lookups = hot_hits = 0
+    hot_arrivals = 0
+    for position in range(num_requests):
+        if rng.random() < spam_probability:
+            key = f"spam-{position}"
+        else:
+            key = f"hot-{hot_arrivals % HOT_SET}"
+            hot_arrivals += 1
+        found = cache.get(key)
+        if key.startswith("hot-"):
+            hot_lookups += 1
+            hot_hits += found is not None
+        if found is None:
+            cache.put(key, value)
+    return hot_lookups, hot_hits
+
+
+class TestAdversarialEviction:
+    def test_lru_demonstrably_degrades_under_spam(self):
+        # ~96 unique inserts land between two accesses of the same hot key
+        # -- more than the 64-entry capacity -- so recency-only admission
+        # loses every hot entry before its next access.
+        lookups, hits = _replay_adversarial_keys(PredictionCache(CACHE_CAPACITY))
+        assert lookups > 0
+        assert hits / lookups < 0.05
+
+    def test_tinylfu_keeps_the_hot_set_servable(self):
+        lookups, hits = _replay_adversarial_keys(TinyLFUCache(CACHE_CAPACITY))
+        assert hits / lookups > 0.6
+
+    def test_tinylfu_beats_lru_by_the_gate_margin(self):
+        lru_lookups, lru_hits = _replay_adversarial_keys(PredictionCache(CACHE_CAPACITY))
+        lfu_lookups, lfu_hits = _replay_adversarial_keys(TinyLFUCache(CACHE_CAPACITY))
+        lru_rate = lru_hits / lru_lookups
+        lfu_rate = lfu_hits / lfu_lookups
+        assert lfu_rate >= 2.0 * max(lru_rate, 1e-9)
+
+    def test_server_level_adversarial_stream(self):
+        """End-to-end: the same contrast through a real BatchedServer."""
+
+        registry = ModelRegistry(None, image_size=IMAGE_SIZE)
+        registry.add(
+            "baseline",
+            DefendedClassifier.build(
+                DefenseConfig.baseline(), seed=0, image_size=IMAGE_SIZE
+            ),
+            persist=False,
+        )
+        pool = synthetic_image_pool(16, image_size=IMAGE_SIZE, seed=9)
+        stream = generate_adversarial_requests(
+            pool, 400, hot_set_size=12, spam_ratio=SPAM_RATIO, seed=2
+        )
+        summaries = {}
+        for policy in ("lru", "tinylfu"):
+            server = BatchedServer(
+                registry,
+                max_batch_size=16,
+                cache_size=32,
+                cache_policy=policy,
+                mode="sync",
+            )
+            summaries[policy] = summarize_adversarial_responses(
+                replay_requests(server, stream)
+            )
+        assert summaries["tinylfu"]["hot_hit_rate"] >= 2.0 * max(
+            summaries["lru"]["hot_hit_rate"], 1e-9
+        )
+        assert summaries["tinylfu"]["hot_hit_rate"] > 0.5
+        # Spam never becomes a hit under either policy (every image unique).
+        assert summaries["lru"]["spam_hit_rate"] == 0.0
+        assert summaries["tinylfu"]["spam_hit_rate"] == 0.0
+
+
+class TestAdversarialTrafficGenerator:
+    def test_labels_and_mix(self):
+        pool = synthetic_image_pool(8, image_size=8, seed=1)
+        stream = generate_adversarial_requests(
+            pool, 500, hot_set_size=4, spam_ratio=4.0, seed=5
+        )
+        spam = [r for r in stream if r.request_id.startswith("spam-")]
+        hot = [r for r in stream if r.request_id.startswith("hot-")]
+        assert len(spam) + len(hot) == 500
+        assert 0.7 < len(spam) / 500 < 0.9  # ~4:1
+        # Hot requests reuse pool images bit-identically; spam is unique.
+        hot_bytes = {r.image.tobytes() for r in hot}
+        assert len(hot_bytes) <= 4
+        assert len({r.image.tobytes() for r in spam}) == len(spam)
+
+    def test_validation(self):
+        pool = synthetic_image_pool(4, image_size=8, seed=1)
+        with pytest.raises(ValueError):
+            generate_adversarial_requests(pool[:0], 10)
+        with pytest.raises(ValueError):
+            generate_adversarial_requests(pool, 10, hot_set_size=5)
+        with pytest.raises(ValueError):
+            generate_adversarial_requests(pool, 10, hot_set_size=0)
+        with pytest.raises(ValueError):
+            generate_adversarial_requests(pool, 10, spam_ratio=-1.0)
+
+    def test_deterministic_given_seed(self):
+        pool = synthetic_image_pool(8, image_size=8, seed=1)
+        a = generate_adversarial_requests(pool, 50, hot_set_size=4, seed=7)
+        b = generate_adversarial_requests(pool, 50, hot_set_size=4, seed=7)
+        assert [r.request_id for r in a] == [r.request_id for r in b]
+        assert all(x.image.tobytes() == y.image.tobytes() for x, y in zip(a, b))

@@ -17,9 +17,12 @@ import pytest
 
 MODULES = [
     "repro.serve",
+    "repro.serve.admission",
+    "repro.serve.autotune",
     "repro.serve.batching",
     "repro.serve.cache",
     "repro.serve.frontend",
+    "repro.serve.procshard",
     "repro.serve.registry",
     "repro.serve.server",
     "repro.serve.shard",
