@@ -1,0 +1,133 @@
+"""HTTP-gateway overhead vs the raw frame-protocol socket front-end.
+
+The HTTP/JSON gateway (``repro.serve.http``) translates standard HTTP into
+the same typed request layer the frame protocol feeds, so its cost over
+the raw socket front-end is pure protocol tax: request-line/header
+parsing, JSON response encoding and (for JSON bodies) the float-to-text
+round trip.  This benchmark drives the identical sequential request
+stream through both wire fronts against one thread-mode server and
+records the ratio.
+
+Gating policy: on this container absolute throughput swings +-20% on
+second timescales and both sides of the ratio are network-loopback-bound,
+so the per-protocol rates and the overhead ratio are **report-only**
+artifact rows (``results/BENCH_serve_http.json``).  What IS asserted is
+the host-independent sanity floor: every request of both runs completes
+with a well-formed response (correct model, full probability vector), and
+the gateway serves the whole stream over a single keep-alive connection.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once, write_bench_artifact
+
+from repro.models.factory import build_variant, resolve_variant
+from repro.serve import (
+    BatchedServer,
+    HttpClient,
+    HttpFrontend,
+    ModelRegistry,
+    SocketClient,
+    SocketFrontend,
+    synthetic_image_pool,
+)
+
+IMAGE_SIZE = 32
+POOL_SIZE = 24
+NUM_REQUESTS = 96
+NUM_CLASSES = 18
+
+
+def _setup():
+    """One untrained baseline server plus the image stream to replay.
+
+    Training does not change per-request protocol cost, so the comparison
+    uses fresh random weights; the cache is disabled so every request
+    crosses the wire AND runs the model.
+    """
+
+    registry = ModelRegistry(None, image_size=IMAGE_SIZE)
+    registry.add(
+        "baseline",
+        build_variant(resolve_variant("baseline"), seed=0, image_size=IMAGE_SIZE),
+        persist=False,
+    )
+    pool = synthetic_image_pool(POOL_SIZE, image_size=IMAGE_SIZE, seed=321)
+    registry.engine("baseline").predict(pool)  # compile outside the window
+    server = BatchedServer(registry, cache_size=0, mode="thread")
+    return server, pool
+
+
+def _drive(roundtrip, pool):
+    """Replay the stream through one blocking client; returns (rate, replies)."""
+
+    replies = []
+    started = time.perf_counter()
+    for index in range(NUM_REQUESTS):
+        replies.append(roundtrip(pool[index % len(pool)], f"req-{index:04d}"))
+    wall = time.perf_counter() - started
+    return NUM_REQUESTS / wall, replies
+
+
+def test_http_gateway_vs_raw_socket_overhead(benchmark):
+    server, pool = _setup()
+    with server:
+        with SocketFrontend(server, port=0) as frontend:
+            with SocketClient("127.0.0.1", frontend.port) as client:
+                socket_rate, socket_replies = _drive(
+                    lambda image, rid: client.predict(
+                        image, model="baseline", request_id=rid, binary=True
+                    ),
+                    pool,
+                )
+        with HttpFrontend(server, port=0) as gateway:
+            with HttpClient("127.0.0.1", gateway.port) as client:
+                (http_rate, http_replies) = run_once(
+                    benchmark,
+                    _drive,
+                    lambda image, rid: client.predict(
+                        image, model="baseline", request_id=rid, encoding="npy"
+                    ),
+                    pool,
+                )
+                http_served = gateway.requests_served
+
+    overhead = socket_rate / http_rate if http_rate > 0 else float("inf")
+    artifact_path = write_bench_artifact(
+        "serve_http",
+        {
+            "num_requests": NUM_REQUESTS,
+            "rows": [
+                {
+                    "scenario": "socket[npy]",
+                    "requests_completed": len(socket_replies),
+                    "images_per_second": round(socket_rate, 1),
+                },
+                {
+                    "scenario": "http[npy]",
+                    "requests_completed": len(http_replies),
+                    "images_per_second": round(http_rate, 1),
+                },
+            ],
+            # Report-only: loopback protocol cost, jitters with the host.
+            "http_overhead_vs_socket": round(overhead, 2),
+        },
+    )
+
+    print(f"\nsocket front-end: {socket_rate:.0f} req/s")
+    print(f"http gateway: {http_rate:.0f} req/s (overhead {overhead:.2f}x)")
+    print(f"artifact: {artifact_path}")
+
+    # Host-independent sanity floor: nothing lost, nothing malformed, and
+    # the whole HTTP run rode one keep-alive connection.
+    assert len(socket_replies) == NUM_REQUESTS
+    assert len(http_replies) == NUM_REQUESTS
+    assert http_served == NUM_REQUESTS
+    for position, reply in enumerate(http_replies):
+        assert reply["model"] == "baseline"
+        assert reply["request_id"] == f"req-{position:04d}"
+        assert len(reply["probabilities"]) == NUM_CLASSES
+    for reply in socket_replies:
+        assert len(reply["probabilities"]) == NUM_CLASSES

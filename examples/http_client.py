@@ -1,0 +1,127 @@
+"""HTTP-gateway round trip using nothing but ``urllib`` from the stdlib.
+
+Starts an in-process sharded fleet (two defense variants), puts the
+HTTP/JSON gateway in front of it, then talks to it the way any HTTP
+client -- a browser ``fetch``, ``curl``, ``urllib`` -- would: liveness,
+model discovery, a base64-``.npy`` JSON predict, a nested-list JSON
+predict, a raw ``.npy``-body predict, and a metrics probe.  The client
+side deliberately uses only ``urllib.request``/``json``/``base64`` so the
+snippet transplants to any machine without this repo installed -- point it
+at ``python -m repro.serve --http-port 8080`` and it just works.
+
+Run with ``PYTHONPATH=src python examples/http_client.py`` (or install the
+package first via ``pip install -e .`` / ``python setup.py develop``
+and drop the ``PYTHONPATH`` prefix).
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import urllib.request
+
+import numpy as np
+
+from repro.models.factory import build_variant, resolve_variant
+from repro.serve import HttpFrontend, ModelRegistry, ShardedServer
+
+IMAGE_SIZE = 32
+MODELS = ["baseline", "feature_filter_3x3"]
+
+
+def get_json(url: str) -> dict:
+    """GET a URL and parse the JSON response body."""
+
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.load(response)
+
+
+def post_json(url: str, payload: dict) -> dict:
+    """POST a JSON object and parse the JSON response body."""
+
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+def post_npy(url: str, image: np.ndarray) -> dict:
+    """POST one image as raw ``.npy`` bytes (the bulk-traffic encoding)."""
+
+    buffer = io.BytesIO()
+    np.save(buffer, image, allow_pickle=False)
+    request = urllib.request.Request(
+        url,
+        data=buffer.getvalue(),
+        headers={"Content-Type": "application/x-npy"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    """Serve two variants over HTTP and query them with urllib."""
+
+    # Untrained weights keep the example instant; swap in a disk-backed
+    # registry ("runs/serve_registry") to serve trained variants.
+    registry = ModelRegistry(None, image_size=IMAGE_SIZE)
+    for name in MODELS:
+        registry.add(
+            name,
+            build_variant(resolve_variant(name), seed=0, image_size=IMAGE_SIZE),
+            persist=False,
+        )
+
+    server = ShardedServer(registry, MODELS, replicas=1)
+    with server, HttpFrontend(server, port=0) as gateway:
+        base = f"http://127.0.0.1:{gateway.port}"
+        print(f"gateway listening on {base}")
+
+        print("healthz:", get_json(f"{base}/healthz"))
+        print("models:", get_json(f"{base}/v1/models")["models"])
+
+        rng = np.random.default_rng(0)
+        image = rng.random((3, IMAGE_SIZE, IMAGE_SIZE))
+
+        buffer = io.BytesIO()
+        np.save(buffer, image, allow_pickle=False)
+        reply = post_json(
+            f"{base}/v1/predict",
+            {
+                "model": "baseline",
+                "request_id": "demo-1",
+                "image": base64.b64encode(buffer.getvalue()).decode("ascii"),
+            },
+        )
+        print(
+            f"base64 npy  -> {reply['class_name']} "
+            f"(confidence {reply['confidence']:.3f}, shard {reply['shard_id']})"
+        )
+
+        reply = post_json(
+            f"{base}/v1/predict",
+            {"model": "feature_filter_3x3", "image": image.tolist()},
+        )
+        print(
+            f"nested list -> {reply['class_name']} "
+            f"(confidence {reply['confidence']:.3f}, shard {reply['shard_id']})"
+        )
+
+        reply = post_npy(f"{base}/v1/predict?model=baseline", image)
+        print(f"raw .npy    -> cache_hit={reply['cache_hit']} (bit-identical repeat)")
+
+        metrics = get_json(f"{base}/metrics")
+        print(
+            "metrics: per-model requests",
+            metrics["stats"]["per_model_requests"],
+            "| batch histogram",
+            metrics["stats"]["batch_size_histogram"],
+        )
+
+
+if __name__ == "__main__":
+    main()

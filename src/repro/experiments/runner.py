@@ -28,6 +28,7 @@ from .pgd_eval import run_pgd_evaluation
 from .reporting import print_table, save_rows
 from .serving import (
     run_adaptive_serving_evaluation,
+    run_http_serving_evaluation,
     run_process_serving_evaluation,
     run_serving_evaluation,
     run_sharded_serving_evaluation,
@@ -152,6 +153,11 @@ def run_all(
         "serving_adaptive",
         "Adaptive serving (online batch autotuning; LRU vs TinyLFU under spam)",
         run_adaptive_serving_evaluation(context),
+    )
+    record(
+        "serving_http",
+        "Wire-protocol overhead (in-process vs socket frames vs HTTP gateway)",
+        run_http_serving_evaluation(context),
     )
     return results
 

@@ -32,14 +32,25 @@ report-only; the gated versions of the same quantities live in
 ``benchmarks/test_serve_autotune.py`` and
 ``benchmarks/test_cache_admission.py``, which run their own hermetic
 measurements.
+
+:func:`run_http_serving_evaluation` measures the wire boundary: the same
+sequential request pattern driven in-process, through the frame-protocol
+:class:`~repro.serve.frontend.SocketFrontend` and through the HTTP/JSON
+:class:`~repro.serve.http.HttpFrontend` (both ``.npy`` and JSON bodies),
+so the per-protocol overhead is isolated from batching effects.  These
+rows are report-only; ``benchmarks/test_serve_http_overhead.py`` runs the gated
+version.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..models.factory import build_variant, resolve_variant
+from ..serve.frontend import SocketClient, SocketFrontend
+from ..serve.http import HttpClient, HttpFrontend
 from ..serve.registry import ModelRegistry
 from ..serve.server import BatchedServer, InferenceServer
 from ..serve.shard import ShardedServer
@@ -62,6 +73,7 @@ __all__ = [
     "run_sharded_serving_evaluation",
     "run_process_serving_evaluation",
     "run_adaptive_serving_evaluation",
+    "run_http_serving_evaluation",
 ]
 
 
@@ -427,4 +439,93 @@ def run_adaptive_serving_evaluation(
         if lru_hot > 0
         else None
     )
+    return rows
+
+
+def run_http_serving_evaluation(
+    context: ExperimentContext,
+    num_requests: int = 96,
+    max_batch_size: int = 32,
+) -> List[Dict[str, object]]:
+    """Measure the wire-protocol overhead of the two network front-ends.
+
+    The same unique-image stream is driven through one thread-mode
+    :class:`~repro.serve.server.BatchedServer` four ways, always by a
+    single sequential blocking caller (one request in flight at a time, so
+    every row pays the same batching pattern and the ratios isolate pure
+    protocol cost):
+
+    * ``in_process`` -- ``submit()`` + ``future.result()`` directly;
+    * ``socket[npy]`` -- the frame protocol through
+      :class:`~repro.serve.frontend.SocketFrontend` with binary ``N``
+      frames;
+    * ``http[npy]`` -- the HTTP gateway with raw ``.npy`` bodies
+      (``Content-Type: application/x-npy``);
+    * ``http[json]`` -- the HTTP gateway with nested-list JSON bodies (the
+      float-to-text worst case a browser without binary encoding pays).
+
+    Each row carries ``overhead_vs_in_process`` (the in-process throughput
+    divided by the row's -- 1.0 means free).  The caches are disabled so
+    every request runs the model.  Report-only: the gated completion floor
+    lives in ``benchmarks/test_serve_http_overhead.py``.
+    """
+
+    registry = ModelRegistry(
+        None, image_size=context.profile.image_size, seed=context.profile.seed
+    )
+    registry.add("baseline", context.get_baseline(), persist=False)
+    registry.engine("baseline")  # compile outside every measured window
+
+    pool = context.test_set.images
+    stream = generate_requests(
+        pool, num_requests, duplicate_fraction=0.0, seed=context.profile.seed
+    )
+
+    def measure(label: str, roundtrip) -> Dict[str, object]:
+        started = time.perf_counter()
+        for request in stream:
+            roundtrip(request)
+        wall = time.perf_counter() - started
+        return {
+            "scenario": label,
+            "requests": len(stream),
+            "wall_seconds": round(wall, 4),
+            "images_per_second": round(len(stream) / wall, 1) if wall > 0 else 0.0,
+        }
+
+    server = BatchedServer(
+        registry, max_batch_size=max_batch_size, cache_size=0, mode="thread"
+    )
+    rows: List[Dict[str, object]] = []
+    with server:
+        rows.append(
+            measure("in_process", lambda request: server.submit(request).result())
+        )
+        with SocketFrontend(server) as socket_frontend:
+            with SocketClient("127.0.0.1", socket_frontend.port) as client:
+                rows.append(
+                    measure(
+                        "socket[npy]",
+                        lambda request: client.predict(
+                            request.image, model=request.model, binary=True
+                        ),
+                    )
+                )
+        with HttpFrontend(server) as gateway:
+            with HttpClient("127.0.0.1", gateway.port) as client:
+                for label, encoding in (("http[npy]", "npy"), ("http[json]", "list")):
+                    rows.append(
+                        measure(
+                            label,
+                            lambda request, encoding=encoding: client.predict(
+                                request.image, model=request.model, encoding=encoding
+                            ),
+                        )
+                    )
+    in_process_rate = float(rows[0]["images_per_second"])
+    for row in rows:
+        rate = float(row["images_per_second"])
+        row["overhead_vs_in_process"] = (
+            round(in_process_rate / rate, 2) if rate > 0 else None
+        )
     return rows

@@ -28,6 +28,10 @@ workload:
 * :class:`~repro.serve.frontend.SocketFrontend` -- non-blocking asyncio
   socket front-end speaking length-prefixed JSON / ``.npy`` frames, with
   :class:`~repro.serve.frontend.SocketClient` as the matching client;
+* :class:`~repro.serve.http.HttpFrontend` -- stdlib asyncio HTTP/1.1
+  gateway for browsers and plain HTTP tooling (``POST /v1/predict``,
+  ``GET /v1/models`` / ``/healthz`` / ``/metrics``), with
+  :class:`~repro.serve.http.HttpClient` as the matching blocking client;
 * :mod:`repro.serve.traffic` -- synthetic single- and multi-model traffic
   generation and load measurement;
 * ``python -m repro.serve`` -- the command-line front end.
@@ -51,6 +55,7 @@ from .autotune import BatchTuner
 from .batching import MicroBatcher, QueuedRequest
 from .cache import CACHE_POLICIES, PredictionCache, image_fingerprint, make_prediction_cache
 from .frontend import SocketClient, SocketFrontend
+from .http import HttpClient, HttpFrontend
 from .procshard import ProcessReplica
 from .registry import ModelRegistry, ModelSnapshot, classifier_from_snapshot
 from .server import BatchedServer, InferenceServer
@@ -94,6 +99,8 @@ __all__ = [
     "LeastLoadedPolicy",
     "SocketFrontend",
     "SocketClient",
+    "HttpFrontend",
+    "HttpClient",
     "MicroBatcher",
     "QueuedRequest",
     "BatchTuner",

@@ -29,6 +29,12 @@ Run the socket front-end until interrupted (clients use
 :class:`repro.serve.SocketClient`)::
 
     python -m repro.serve --shards baseline,feature_filter_3x3 --port 7860
+
+Run the HTTP/JSON gateway (browsers, ``curl``, any HTTP client), alone or
+alongside the frame-protocol port::
+
+    python -m repro.serve --shards baseline,feature_filter_3x3 --http-port 8080
+    python -m repro.serve --model baseline --port 7860 --http-port 8080
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -46,6 +53,7 @@ from ..experiments.reporting import format_table
 from ..models.factory import variant_catalog
 from ..models.training import TrainingConfig
 from .frontend import SocketFrontend
+from .http import HttpFrontend
 from .registry import ModelRegistry
 from .server import BatchedServer
 from .shard import ShardedServer
@@ -123,7 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(instead of a one-shot load run); 0 picks a free port",
     )
     parser.add_argument(
-        "--host", default="127.0.0.1", help="bind address for --port (default: 127.0.0.1)"
+        "--http-port",
+        type=int,
+        default=None,
+        help="run the HTTP/JSON gateway on this port until interrupted "
+        "(POST /v1/predict, GET /v1/models, /healthz, /metrics; composable "
+        "with --port); 0 picks a free port",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port / --http-port (default: 127.0.0.1)",
     )
     parser.add_argument(
         "--registry-dir",
@@ -257,6 +275,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     # is the expensive step and must not run for an invalid command line.
     if arguments.port is not None and arguments.mode == "sync":
         raise SystemExit("--port requires --mode thread or --mode process")
+    if arguments.http_port is not None and arguments.mode == "sync":
+        raise SystemExit("--http-port requires --mode thread or --mode process")
+    if (
+        arguments.port is not None
+        and arguments.http_port is not None
+        and arguments.port == arguments.http_port
+        and arguments.port != 0
+    ):
+        raise SystemExit("--port and --http-port must differ")
     if arguments.mode == "process" and arguments.shards is None:
         raise SystemExit("--mode process requires --shards (process workers are per-variant)")
     if arguments.compare_naive and arguments.shards is not None:
@@ -301,15 +328,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         server.warm(models[0])
 
-    if arguments.port is not None:
+    if arguments.port is not None or arguments.http_port is not None:
+        frontend_died = False
         with server:
-            frontend = SocketFrontend(server, host=arguments.host, port=arguments.port)
-            frontend.start()
-            print(
-                f"serving {', '.join(models)} on {arguments.host}:{frontend.port} "
-                f"(length-prefixed frames; Ctrl-C to drain and exit)"
-            )
-            frontend.serve_forever()
+            # Starts happen inside the try: if the second front-end's bind
+            # fails, the first is still drained on the way out.
+            frontends = []
+            try:
+                if arguments.port is not None:
+                    frontend = SocketFrontend(
+                        server, host=arguments.host, port=arguments.port
+                    )
+                    frontends.append(frontend)
+                    frontend.start()
+                    print(
+                        f"serving {', '.join(models)} on "
+                        f"{arguments.host}:{frontend.port} "
+                        f"(length-prefixed frames; Ctrl-C to drain and exit)"
+                    )
+                if arguments.http_port is not None:
+                    gateway = HttpFrontend(
+                        server, host=arguments.host, port=arguments.http_port
+                    )
+                    frontends.append(gateway)
+                    gateway.start()
+                    print(
+                        f"serving {', '.join(models)} on "
+                        f"http://{arguments.host}:{gateway.port} "
+                        f"(POST /v1/predict; Ctrl-C to drain and exit)"
+                    )
+                # Liveness-checked, not sleep-forever: a front-end whose
+                # event-loop thread died must end the process, not leave a
+                # zombie CLI with dead ports.
+                while frontends and all(frontend.alive for frontend in frontends):
+                    time.sleep(0.2)
+                frontend_died = True
+            except KeyboardInterrupt:
+                pass
+            finally:
+                for frontend in frontends:
+                    frontend.stop()
+        if frontend_died:
+            # An unexpected front-end death is a failure, not a clean exit:
+            # a supervisor with restart-on-failure must see a non-zero code.
+            print("error: a front-end stopped unexpectedly", file=sys.stderr)
+            return 1
         return 0
 
     if arguments.images is not None:

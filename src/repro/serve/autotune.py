@@ -292,6 +292,19 @@ class BatchTuner:
             self._direction = -self._direction
         return False
 
+    def _best_rung_locked(self) -> int:
+        """Best-known rung selection rule (caller holds the lock).
+
+        Single source of truth for :meth:`best_rung`, ``freeze(adopt_best)``
+        and the ``as_dict`` snapshot, so the three can never disagree on
+        what "best" means.  Falls back to the current batch size before
+        any epoch has closed.
+        """
+
+        if not self._rung_rates:
+            return self._batch_size
+        return max(self._rung_rates, key=self._rung_rates.get)
+
     def best_rung(self) -> int:
         """The rung with the highest smoothed throughput estimate so far.
 
@@ -299,9 +312,7 @@ class BatchTuner:
         """
 
         with self._lock:
-            if not self._rung_rates:
-                return self._batch_size
-            return max(self._rung_rates, key=self._rung_rates.get)
+            return self._best_rung_locked()
 
     def freeze(self, adopt_best: bool = False) -> None:
         """Pin the recommendation: stop adjusting until :meth:`unfreeze`.
@@ -316,8 +327,8 @@ class BatchTuner:
         """
 
         with self._lock:
-            if adopt_best and self._rung_rates:
-                self._batch_size = max(self._rung_rates, key=self._rung_rates.get)
+            if adopt_best:
+                self._batch_size = self._best_rung_locked()
             self._frozen = True
 
     def unfreeze(self) -> None:
@@ -375,12 +386,14 @@ class BatchTuner:
             self._refresh_wait_locked()
             return {
                 "batch_size": self._batch_size,
+                "best_rung": self._best_rung_locked(),
                 "max_wait_ms": (
                     round(self._wait * 1000.0, 4) if self._ewma_gap is not None else None
                 ),
                 "epochs": self.epochs,
                 "adjustments": self.adjustments,
                 "holding": self._hold > 0,
+                "frozen": self._frozen,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,7 +25,13 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["image_fingerprint", "PredictionCache", "make_prediction_cache", "CACHE_POLICIES"]
+__all__ = [
+    "image_fingerprint",
+    "PredictionCache",
+    "make_prediction_cache",
+    "cache_metrics",
+    "CACHE_POLICIES",
+]
 
 #: Known ``cache_policy`` names accepted by :func:`make_prediction_cache`.
 CACHE_POLICIES = ("lru", "tinylfu")
@@ -51,6 +57,26 @@ def make_prediction_cache(policy: str = "lru", max_entries: int = 1024):
     raise ValueError(
         f"unknown cache_policy {policy!r}; expected one of {list(CACHE_POLICIES)}"
     )
+
+
+def cache_metrics(cache) -> dict:
+    """JSON-friendly counters of one prediction cache (any admission policy).
+
+    Works on every cache :func:`make_prediction_cache` can build -- both
+    policies share the ``policy``/``max_entries``/``hits``/``misses``/
+    ``evictions``/``hit_rate`` surface.  Feeds the serving ``metrics()``
+    endpoints; the numbers are monitoring-grade snapshots, not atomic.
+    """
+
+    return {
+        "policy": cache.policy,
+        "capacity": cache.max_entries,
+        "entries": len(cache),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+        "hit_rate": round(cache.hit_rate, 4),
+    }
 
 
 def image_fingerprint(model: str, image: np.ndarray) -> str:

@@ -57,6 +57,9 @@ __all__ = [
     "encode_json_frame",
     "encode_npy_frame",
     "decode_payload",
+    "npy_bytes",
+    "load_npy_bytes",
+    "LoopFrontend",
     "SocketFrontend",
     "SocketClient",
 ]
@@ -84,11 +87,39 @@ def encode_npy_frame(meta: Dict[str, object], image: np.ndarray) -> bytes:
     """
 
     meta_body = json.dumps(meta).encode("utf-8")
-    buffer = io.BytesIO()
-    np.save(buffer, np.ascontiguousarray(image), allow_pickle=False)
-    image_body = buffer.getvalue()
-    body = _META_LEN.pack(len(meta_body)) + meta_body + image_body
+    body = _META_LEN.pack(len(meta_body)) + meta_body + npy_bytes(image)
     return _HEADER.pack(FRAME_NPY, len(body)) + body
+
+
+def npy_bytes(image: np.ndarray) -> bytes:
+    """Serialize one array as raw ``.npy`` bytes (``numpy.save``, no pickle).
+
+    The single save-side twin of :func:`load_npy_bytes`, shared by the
+    frame encoder and the HTTP client/gateway.  Uses ``np.asarray``, NOT
+    ``ascontiguousarray``: the latter promotes 0-d arrays to 1-d and would
+    silently change the round-tripped shape (``np.save`` handles any
+    layout).
+    """
+
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(image), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def load_npy_bytes(body: bytes) -> np.ndarray:
+    """Parse raw ``.npy`` bytes into an array; ``ValueError`` when malformed.
+
+    Pickle-bearing payloads are refused (``allow_pickle=False``), and every
+    parse failure -- np.load raises EOFError/OSError/ValueError depending
+    on how the bytes are malformed -- is normalized to ``ValueError`` so
+    both wire fronts keep one documented error contract (the frame
+    decoder's error-frame path and the HTTP gateway's 400 mapping).
+    """
+
+    try:
+        return np.load(io.BytesIO(body), allow_pickle=False)
+    except Exception as error:
+        raise ValueError(f"bad npy image payload: {error}") from error
 
 
 def decode_payload(kind: bytes, payload: bytes) -> Dict[str, object]:
@@ -100,7 +131,10 @@ def decode_payload(kind: bytes, payload: bytes) -> Dict[str, object]:
     """
 
     if kind == FRAME_JSON:
-        return json.loads(payload.decode("utf-8"))
+        message = json.loads(payload.decode("utf-8"))
+        if not isinstance(message, dict):
+            raise ValueError("J frame payload must be a JSON object")
+        return message
     if kind == FRAME_NPY:
         if len(payload) < _META_LEN.size:
             raise ValueError("truncated N frame")
@@ -108,22 +142,24 @@ def decode_payload(kind: bytes, payload: bytes) -> Dict[str, object]:
         if _META_LEN.size + meta_len > len(payload):
             raise ValueError("truncated N frame meta")
         meta = json.loads(payload[_META_LEN.size : _META_LEN.size + meta_len].decode("utf-8"))
-        try:
-            image = np.load(
-                io.BytesIO(payload[_META_LEN.size + meta_len :]), allow_pickle=False
-            )
-        except Exception as error:
-            # np.load raises EOFError/OSError/ValueError depending on how the
-            # bytes are malformed; normalize so callers keep the documented
-            # ValueError -> error-frame contract.
-            raise ValueError(f"bad npy image payload: {error}") from error
-        meta["image"] = image
+        if not isinstance(meta, dict):
+            raise ValueError("N frame meta must be a JSON object")
+        meta["image"] = load_npy_bytes(payload[_META_LEN.size + meta_len :])
         return meta
     raise ValueError(f"unknown frame kind {kind!r}")
 
 
-class SocketFrontend:
-    """Asyncio TCP front-end feeding an in-process inference server.
+class LoopFrontend:
+    """Shared lifecycle of the network front-ends: one event loop, one thread.
+
+    Both wire fronts -- the frame-protocol :class:`SocketFrontend` here and
+    the HTTP :class:`~repro.serve.http.HttpFrontend` -- are an asyncio
+    listener running in a private background thread with identical
+    start/stop/drain semantics.  This base owns all of that plumbing
+    (ready handshake, bind-failure surfacing, graceful drain bounded by
+    ``drain_timeout``, join-on-stop), so a lifecycle fix lands in exactly
+    one place; subclasses implement only :meth:`_handle_connection` and
+    may override :meth:`_listener_options` and the in-flight bookkeeping.
 
     Parameters
     ----------
@@ -131,9 +167,7 @@ class SocketFrontend:
         Any object with ``submit(PredictRequest) -> Future`` plus ``mode``
         and (for sync mode) ``flush()`` -- i.e. a
         :class:`~repro.serve.server.BatchedServer` or
-        :class:`~repro.serve.shard.ShardedServer`.  Thread mode is the
-        intended deployment; sync mode is supported for deterministic
-        tests (each request is flushed through an executor).
+        :class:`~repro.serve.shard.ShardedServer`.
     host, port:
         Bind address.  ``port=0`` picks a free port, exposed as
         :attr:`port` after :meth:`start`.
@@ -141,6 +175,9 @@ class SocketFrontend:
         Seconds :meth:`stop` waits for in-flight requests to finish
         streaming before closing their connections.
     """
+
+    #: Name of the background event-loop thread (subclasses override).
+    thread_name = "serve-loop-frontend"
 
     def __init__(
         self,
@@ -158,14 +195,23 @@ class SocketFrontend:
         self._listener: Optional[asyncio.AbstractServer] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
-        self._inflight: "set[asyncio.Task]" = set()
         self._connections: "set[asyncio.StreamWriter]" = set()
+        #: In-flight work the drain waits out; subclasses keep it truthy
+        #: while requests are outstanding (a task set, a counter, ...).
+        self._inflight: object = 0
+        self._draining = False
         self.requests_served = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> "SocketFrontend":
+    @property
+    def alive(self) -> bool:
+        """Whether the front-end's event-loop thread is serving right now."""
+
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "LoopFrontend":
         """Bind the listener and serve in a background event-loop thread.
 
         Blocks until the socket is bound (so :attr:`port` is final) and
@@ -175,8 +221,9 @@ class SocketFrontend:
 
         if self._thread is not None:
             return self
+        self._draining = False
         self._thread = threading.Thread(
-            target=self._run_loop, name="serve-frontend", daemon=True
+            target=self._run_loop, name=self.thread_name, daemon=True
         )
         self._thread.start()
         self._ready.wait()
@@ -184,6 +231,10 @@ class SocketFrontend:
             error, self._startup_error = self._startup_error, None
             self._thread.join()
             self._thread = None
+            self._loop = None
+            # A stale ready flag would make the *next* start() return
+            # before its listener is bound (and swallow its bind error).
+            self._ready.clear()
             raise error
         return self
 
@@ -198,15 +249,33 @@ class SocketFrontend:
 
         if self._loop is None or self._thread is None:
             return
-        future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
-        future.result(timeout=self.drain_timeout + 5.0)
-        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread.is_alive() and not self._loop.is_closed():
+            try:
+                future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
+                future.result(timeout=self.drain_timeout + 5.0)
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                # The loop died between the liveness check and the call (or
+                # mid-drain).  There is nothing left to drain; fall through
+                # to the join so stop() stays safe on dead front-ends --
+                # the CLI calls it exactly when a front-end has crashed.
+                pass
+        if self._listener is not None:
+            # A loop that died without _shutdown never closed its listening
+            # socket; release it here or the port stays bound (and a
+            # restart on the same port fails with EADDRINUSE).  Server.close
+            # closes the raw sockets even when its loop is already closed.
+            try:
+                self._listener.close()
+            except Exception:
+                pass
+            self._listener = None
         self._thread.join()
         self._thread = None
         self._loop = None
         self._ready.clear()
 
-    def __enter__(self) -> "SocketFrontend":
+    def __enter__(self) -> "LoopFrontend":
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
@@ -217,7 +286,7 @@ class SocketFrontend:
 
         self.start()
         try:
-            while self._thread is not None and self._thread.is_alive():
+            while self.alive:
                 time.sleep(0.2)
         except KeyboardInterrupt:
             pass
@@ -225,15 +294,47 @@ class SocketFrontend:
             self.stop()
 
     # ------------------------------------------------------------------
+    # Shared backend introspection
+    # ------------------------------------------------------------------
+    def _served_models(self) -> List[str]:
+        """The model names the wrapped server routes (shared discovery).
+
+        Sharded servers expose ``models``; pinned single-queue servers
+        expose ``allowed_models``; an unrestricted single-queue server
+        reports what its registry has materialized so discovery stays
+        truthful.  Both wire fronts answer discovery from this one chain.
+        """
+
+        models = getattr(self.server, "models", None)
+        if models is None:
+            allowed = getattr(self.server, "allowed_models", None)
+            if allowed:
+                models = sorted(allowed)
+            else:
+                registry = getattr(self.server, "registry", None)
+                models = registry.loaded() if registry is not None else []
+        return list(models)
+
+    # ------------------------------------------------------------------
     # Event loop internals
     # ------------------------------------------------------------------
+    def _listener_options(self) -> Dict[str, object]:
+        """Extra keyword arguments for ``asyncio.start_server`` (subclass hook)."""
+
+        return {}
+
     def _run_loop(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
         try:
             self._listener = loop.run_until_complete(
-                asyncio.start_server(self._handle_connection, self.host, self.port)
+                asyncio.start_server(
+                    self._handle_connection,
+                    self.host,
+                    self.port,
+                    **self._listener_options(),
+                )
             )
         except BaseException as error:  # surface bind failures to start()
             self._startup_error = error
@@ -248,6 +349,7 @@ class SocketFrontend:
             loop.close()
 
     async def _shutdown(self) -> None:
+        self._draining = True
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
@@ -257,6 +359,36 @@ class SocketFrontend:
             await asyncio.sleep(0.01)
         for writer in list(self._connections):
             writer.close()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one accepted connection (implemented by each wire front)."""
+
+        raise NotImplementedError
+
+
+class SocketFrontend(LoopFrontend):
+    """Asyncio TCP front-end feeding an in-process inference server.
+
+    Speaks the length-prefixed frame protocol documented in this module;
+    see :class:`LoopFrontend` for the constructor parameters and the
+    shared start/stop/drain lifecycle.  Thread mode is the intended
+    deployment; sync mode is supported for deterministic tests (each
+    request is flushed through an executor).
+    """
+
+    thread_name = "serve-frontend"
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(server, host=host, port=port, drain_timeout=drain_timeout)
+        self._inflight: "set[asyncio.Task]" = set()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -300,17 +432,9 @@ class SocketFrontend:
             if operation == "ping":
                 await self._send(writer, write_lock, {"ok": True, "op": "ping"})
             elif operation == "models":
-                models = getattr(self.server, "models", None)
-                if models is None:
-                    allowed = getattr(self.server, "allowed_models", None)
-                    if allowed:
-                        models = sorted(allowed)
-                    else:
-                        # Unrestricted single-queue server: report what the
-                        # registry has materialized so discovery stays truthful.
-                        registry = getattr(self.server, "registry", None)
-                        models = registry.loaded() if registry is not None else []
-                await self._send(writer, write_lock, {"op": "models", "models": list(models)})
+                await self._send(
+                    writer, write_lock, {"op": "models", "models": self._served_models()}
+                )
             elif operation == "stats":
                 await self._send(
                     writer, write_lock, {"op": "stats", "stats": self.server.stats.as_dict()}
@@ -417,17 +541,46 @@ class SocketClient:
     # Wire helpers
     # ------------------------------------------------------------------
     def _recv_exactly(self, count: int) -> bytes:
+        """Read exactly ``count`` bytes, or raise a clear ``ConnectionError``.
+
+        A front-end that stops (or crashes) closes the socket; depending on
+        timing the client then sees a zero-byte read or a raw ``OSError``.
+        Both are normalized to ``ConnectionError`` -- mid-frame closes say
+        so explicitly -- so callers never have to unpick bare struct/EOF
+        errors.  Timeouts keep raising ``socket.timeout``.
+        """
+
         chunks: List[bytes] = []
+        wanted = count
         while count:
-            chunk = self._socket.recv(count)
+            try:
+                chunk = self._socket.recv(count)
+            except (ConnectionError, socket.timeout):
+                raise
+            except OSError as error:
+                raise ConnectionError(
+                    f"front-end connection lost mid-frame: {error}"
+                ) from error
             if not chunk:
+                if count < wanted:
+                    raise ConnectionError(
+                        f"front-end closed the connection mid-frame "
+                        f"({wanted - count} of {wanted} bytes received)"
+                    )
                 raise ConnectionError("front-end closed the connection")
             chunks.append(chunk)
             count -= len(chunk)
         return b"".join(chunks)
 
     def _roundtrip(self, frame: bytes) -> Dict[str, object]:
-        self._socket.sendall(frame)
+        try:
+            self._socket.sendall(frame)
+        except (ConnectionError, socket.timeout):
+            raise
+        except OSError as error:
+            raise ConnectionError(
+                f"front-end connection lost while sending: {error}"
+            ) from error
         kind, length = _HEADER.unpack(self._recv_exactly(_HEADER.size))
         return decode_payload(kind, self._recv_exactly(length))
 

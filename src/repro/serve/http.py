@@ -1,0 +1,602 @@
+"""HTTP/JSON gateway: the serving stack for browsers and plain HTTP tooling.
+
+The socket front-end (:mod:`repro.serve.frontend`) speaks a custom
+length-prefixed frame protocol, which is compact but unreachable from a
+browser, ``curl`` or any off-the-shelf HTTP client.  :class:`HttpFrontend`
+is a thin translation layer in front of the very same servers: an
+``asyncio`` HTTP/1.1 listener (standard library only -- no web framework)
+that decodes HTTP requests into the typed
+:class:`~repro.serve.types.PredictRequest` layer, feeds any backend with a
+``submit(...) -> Future`` surface (single-queue
+:class:`~repro.serve.server.BatchedServer` or multi-model
+:class:`~repro.serve.shard.ShardedServer`, thread, sync or process mode),
+and renders each resolved future as a JSON response.
+
+Endpoints::
+
+    POST /v1/predict     classify one image
+    GET  /v1/models      the variant names the backend routes
+    GET  /healthz        liveness (200 while serving, 503 while draining)
+    GET  /metrics        live serving metrics (JSON; see ``server.metrics()``)
+
+``POST /v1/predict`` accepts two body encodings:
+
+* ``Content-Type: application/json`` -- an object ``{"model": ...,
+  "request_id": ..., "image": ...}`` where ``image`` is either a nested
+  ``(3, H, W)`` list of floats or a **base64 string of raw ``.npy``
+  bytes** (``numpy.save`` output; pickle payloads are refused);
+* ``Content-Type: application/x-npy`` -- the body is raw ``.npy`` bytes
+  and ``model`` / ``request_id`` travel in the query string
+  (``/v1/predict?model=baseline&request_id=r-1``).
+
+Error mapping (all error bodies are JSON ``{"error": ...}``):
+
+* malformed HTTP, bad JSON, bad base64, bad ``.npy``, wrong image shape,
+  missing/invalid ``Content-Length`` -> **400**;
+* unknown model or unknown path -> **404**;
+* known path, wrong method -> **405** (with an ``Allow`` header);
+* body larger than ``max_body_bytes`` -> **413** (connection closes, the
+  oversized body is never read);
+* backend not running / draining -> **503**.
+
+Connections are **keep-alive** by default (HTTP/1.1 semantics; ``Connection:
+close`` is honored, HTTP/1.0 defaults to close).  Requests on one
+connection are handled strictly in order, so a client may pipeline several
+requests back-to-back and read the responses sequentially.  Every response
+carries a correct ``Content-Length``.
+
+Shutdown mirrors :meth:`~repro.serve.frontend.SocketFrontend.stop`: the
+listener closes, in-flight requests finish and stream their responses
+(bounded by ``drain_timeout``), then remaining connections close.  While
+draining, ``/healthz`` answers 503 and responses are stamped
+``Connection: close``.  The gateway never owns the inference server's
+lifecycle.
+
+Thread-safety: the gateway runs its event loop in one background thread;
+``start``/``stop``/``serve_forever`` are owner operations.
+:class:`HttpClient` is a plain blocking client (one in-flight request at a
+time per client); use one client per thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import socket
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, quote, urlsplit
+
+import numpy as np
+
+from .frontend import _MAX_PAYLOAD, LoopFrontend, load_npy_bytes, npy_bytes
+from .types import PredictRequest, UnknownModelError
+
+__all__ = ["HttpFrontend", "HttpClient", "npy_bytes", "load_npy_bytes"]
+
+#: Upper bound on the request line + header block of one HTTP request.
+_MAX_HEAD = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+#: Routing table of known paths -> allowed methods (for 405 vs 404).
+_ALLOWED_METHODS = {
+    "/v1/predict": ("POST",),
+    "/v1/models": ("GET",),
+    "/healthz": ("GET",),
+    "/metrics": ("GET",),
+}
+
+
+class _HttpError(Exception):
+    """Internal: abort the current request with one mapped HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpFrontend(LoopFrontend):
+    """Asyncio HTTP/1.1 front-end feeding an in-process inference server.
+
+    Speaks the HTTP surface documented in this module; the constructor
+    and the start/stop/drain lifecycle are shared with the frame-protocol
+    front via :class:`~repro.serve.frontend.LoopFrontend`.  Thread and
+    process modes are the intended deployments; sync mode is supported
+    for deterministic tests (each request is flushed through an
+    executor).
+
+    Parameters
+    ----------
+    server, host, port, drain_timeout:
+        As on :class:`~repro.serve.frontend.LoopFrontend`.
+    max_body_bytes:
+        Largest request body accepted before answering 413; defaults to
+        the frame protocol's payload bound so the two wire fronts refuse
+        the same traffic.
+    """
+
+    thread_name = "serve-http"
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 10.0,
+        max_body_bytes: int = _MAX_PAYLOAD,
+    ) -> None:
+        super().__init__(server, host=host, port=port, drain_timeout=drain_timeout)
+        self.max_body_bytes = max_body_bytes
+        self._inflight = 0  # event-loop-thread only
+
+    def _listener_options(self) -> Dict[str, object]:
+        """Bound the header block: ``readuntil`` refuses bigger heads."""
+
+        return {"limit": _MAX_HEAD}
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break  # client went away (possibly mid-header)
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer, 400, {"error": "header block too large"}, keep_alive=False
+                    )
+                    break
+                try:
+                    method, path, query, headers, keep_alive = _parse_head(head)
+                except ValueError as error:
+                    await self._respond(writer, 400, {"error": str(error)}, keep_alive=False)
+                    break
+                try:
+                    body = await self._read_body(reader, writer, method, headers)
+                except _HttpError as error:
+                    # The body was not consumed; the connection is unusable.
+                    await self._respond(
+                        writer, error.status, {"error": error.message}, keep_alive=False
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break  # client disconnected mid-body
+                self._inflight += 1
+                try:
+                    status, payload, extra = await self._dispatch(
+                        method, path, query, headers, body
+                    )
+                finally:
+                    self._inflight -= 1
+                keep_alive = keep_alive and not self._draining
+                try:
+                    await self._respond(
+                        writer, status, payload, keep_alive=keep_alive, extra_headers=extra
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    break  # client went away mid-reply
+                if not keep_alive:
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _read_body(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        headers: Dict[str, str],
+    ) -> bytes:
+        """Read (or refuse) the request body announced by the headers."""
+
+        if "transfer-encoding" in headers:
+            raise _HttpError(400, "chunked transfer encoding is not supported")
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            if method == "POST":
+                raise _HttpError(400, "POST requires a Content-Length header")
+            return b""
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(400, f"invalid Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise _HttpError(400, f"invalid Content-Length {raw_length!r}")
+        if length > self.max_body_bytes:
+            raise _HttpError(
+                413, f"body of {length} bytes exceeds the {self.max_body_bytes}-byte limit"
+            )
+        return await reader.readexactly(length)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """Route one parsed request; returns (status, JSON payload, headers)."""
+
+        allowed = _ALLOWED_METHODS.get(path)
+        if allowed is None:
+            return 404, {"error": f"unknown path {path!r}"}, {}
+        if method not in allowed:
+            return (
+                405,
+                {"error": f"{method} is not allowed on {path}"},
+                {"Allow": ", ".join(allowed)},
+            )
+        try:
+            if path == "/healthz":
+                if self._draining:
+                    return 503, {"status": "draining", "draining": True}, {}
+                return 200, {"status": "ok", "draining": False}, {}
+            if path == "/v1/models":
+                return 200, {"models": self._served_models()}, {}
+            if path == "/metrics":
+                return 200, self._metrics(), {}
+            return await self._predict(query, headers, body)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as error:  # request-level failures never kill the loop
+            return 503, {"error": str(error)}, {}
+
+    def _metrics(self) -> Dict[str, object]:
+        """Live serving metrics: the backend's ``metrics()`` plus gateway counters."""
+
+        if hasattr(self.server, "metrics"):
+            payload = dict(self.server.metrics())
+        else:
+            payload = {"stats": self.server.stats.as_dict()}
+        payload["http_requests_served"] = self.requests_served
+        payload["draining"] = self._draining
+        return payload
+
+    async def _predict(
+        self,
+        query: Dict[str, List[str]],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        content_type = headers.get("content-type", "application/json")
+        content_type = content_type.split(";")[0].strip().lower()
+        request_id: Optional[str] = None
+        try:
+            if content_type == "application/x-npy":
+                model = query.get("model", ["baseline"])[0]
+                values = query.get("request_id")
+                request_id = values[0] if values else None
+                image = load_npy_bytes(body)
+            else:
+                message = _parse_json_object(body)
+                model = str(message.get("model", "baseline"))
+                raw_id = message.get("request_id")
+                request_id = None if raw_id is None else str(raw_id)
+                image = _decode_json_image(message)
+        except ValueError as error:
+            return 400, {"error": str(error), "request_id": request_id}, {}
+        try:
+            request = PredictRequest(
+                image=np.asarray(image, dtype=np.float64),
+                model=model,
+                request_id=request_id,
+            )
+        except ValueError as error:
+            return 400, {"error": str(error), "request_id": request_id}, {}
+        try:
+            future = self.server.submit(request)
+        except UnknownModelError as error:
+            return 404, {"error": str(error), "request_id": request_id}, {}
+        except RuntimeError as error:
+            return 503, {"error": str(error), "request_id": request_id}, {}
+        if getattr(self.server, "mode", "thread") == "sync":
+            # Deterministic test mode: run the batch off the event loop.
+            await asyncio.get_running_loop().run_in_executor(None, self.server.flush)
+        response = await asyncio.wrap_future(future)
+        self.requests_served += 1
+        payload = response.as_dict()
+        payload["probabilities"] = [float(value) for value in response.probabilities]
+        return 200, payload, {}
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, List[str]], Dict[str, str], bool]:
+    """Parse one HTTP request head; raises ``ValueError`` when malformed.
+
+    Returns ``(method, path, query, headers, keep_alive)`` with header
+    names lowercased and the query string parsed into lists.
+    """
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 total
+        raise ValueError("undecodable request head") from error
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[0] or not parts[1].startswith("/"):
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ValueError(f"unsupported HTTP version {version!r}")
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator or not name.strip():
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    # keep_blank_values: "?model=" must surface as an (empty, rejectable)
+    # selection, not silently fall back to the default model.
+    query = parse_qs(split.query, keep_blank_values=True)
+    return method.upper(), split.path, query, headers, keep_alive
+
+
+def _parse_json_object(body: bytes) -> Dict[str, object]:
+    """Decode a request body as one JSON object; ``ValueError`` otherwise."""
+
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except UnicodeDecodeError as error:
+        raise ValueError(f"request body is not UTF-8: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"request body is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ValueError("request body must be a JSON object")
+    return message
+
+
+def _decode_json_image(message: Dict[str, object]) -> np.ndarray:
+    """Extract the image from a JSON predict body; ``ValueError`` when bad.
+
+    ``image`` is either a nested list of numbers or a base64 string whose
+    decoded bytes are a raw ``.npy`` payload.
+    """
+
+    image = message.get("image")
+    if image is None:
+        raise ValueError("predict needs an image")
+    if isinstance(image, str):
+        try:
+            raw = base64.b64decode(image.encode("ascii"), validate=True)
+        except (binascii.Error, UnicodeEncodeError) as error:
+            raise ValueError(f"bad base64 image: {error}") from error
+        return load_npy_bytes(raw)
+    try:
+        return np.asarray(image, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"bad nested-list image: {error}") from error
+
+
+class HttpClient:
+    """Minimal blocking HTTP/1.1 client for the gateway (keep-alive, stdlib).
+
+    One in-flight request at a time: each call sends one request and blocks
+    for its response on a single persistent connection (so N calls through
+    one client exercise HTTP keep-alive).  Use one client per thread.
+    Usable as a context manager.
+
+    Parameters
+    ----------
+    host, port:
+        Address of a running :class:`HttpFrontend`.
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+
+        for closer in (self._file.close, self._socket.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Send one request and block for its response.
+
+        Returns ``(status, response headers, body bytes)``.  Raises
+        ``ConnectionError`` when the gateway closes the connection before
+        a full response arrives.
+        """
+
+        lines = [f"{method} {target} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+        if body is not None:
+            lines.append(f"Content-Type: {content_type}")
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        try:
+            self._socket.sendall(head + (body or b""))
+        except socket.timeout:
+            raise  # a wedged peer is a timeout, not a connection loss
+        except OSError as error:
+            # The gateway may have refused mid-send -- e.g. answered 413
+            # from the Content-Length announcement and closed with the
+            # body unread, resetting our upload.  Its response is (if
+            # anything) already in our receive buffer; surface it rather
+            # than a bare connection error.
+            try:
+                return self._read_response()
+            except Exception:
+                pass
+            if isinstance(error, ConnectionError):
+                raise
+            raise ConnectionError(
+                f"gateway connection lost while sending: {error}"
+            ) from error
+        return self._read_response()
+
+    def _read_response(self) -> Tuple[int, Dict[str, str], bytes]:
+        status_line = self._readline()
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = self._readline()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = self._file.read(length)
+        if body is None or len(body) < length:
+            raise ConnectionError("gateway closed the connection mid-response")
+        return status, headers, body
+
+    def _readline(self) -> str:
+        line = self._file.readline(_MAX_HEAD)
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        return line.decode("latin-1").rstrip("\r\n")
+
+    def request_json(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Like :meth:`request` but parse the response body as JSON."""
+
+        status, _, raw = self.request(
+            method, target, body=body, content_type=content_type, headers=headers
+        )
+        return status, json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        image: np.ndarray,
+        model: str = "baseline",
+        request_id: Optional[str] = None,
+        encoding: str = "npy",
+    ) -> Dict[str, object]:
+        """Classify one ``(3, H, W)`` image; returns the response dict.
+
+        ``encoding`` picks the request body: ``"npy"`` POSTs raw ``.npy``
+        bytes (``Content-Type: application/x-npy``, model/request id in
+        the query string), ``"b64"`` the base64-of-``.npy`` JSON field,
+        ``"list"`` the nested-list JSON field.  Raises ``RuntimeError``
+        when the gateway answers with an error status.
+        """
+
+        if encoding == "npy":
+            # Percent-encode: a space/&/# (or non-ASCII) in the values would
+            # otherwise corrupt the request line; the gateway parse_qs-decodes.
+            target = f"/v1/predict?model={quote(model, safe='')}"
+            if request_id is not None:
+                target += f"&request_id={quote(request_id, safe='')}"
+            status, payload = self.request_json(
+                "POST", target, body=npy_bytes(image), content_type="application/x-npy"
+            )
+        else:
+            message: Dict[str, object] = {"model": model}
+            if request_id is not None:
+                message["request_id"] = request_id
+            if encoding == "b64":
+                message["image"] = base64.b64encode(npy_bytes(image)).decode("ascii")
+            elif encoding == "list":
+                message["image"] = np.asarray(image).tolist()
+            else:
+                raise ValueError(f"unknown encoding {encoding!r}")
+            status, payload = self.request_json(
+                "POST", "/v1/predict", body=json.dumps(message).encode("utf-8")
+            )
+        if status != 200:
+            raise RuntimeError(f"predict failed with {status}: {payload.get('error')}")
+        return payload
+
+    def models(self) -> List[str]:
+        """The model names the server behind the gateway routes."""
+
+        status, payload = self.request_json("GET", "/v1/models")
+        if status != 200:
+            raise RuntimeError(f"models failed with {status}: {payload.get('error')}")
+        return list(payload.get("models", []))
+
+    def healthz(self) -> Tuple[int, Dict[str, object]]:
+        """Liveness probe; returns ``(status code, body)`` without raising."""
+
+        return self.request_json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        """Live serving metrics of the server behind the gateway."""
+
+        status, payload = self.request_json("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"metrics failed with {status}: {payload.get('error')}")
+        return payload

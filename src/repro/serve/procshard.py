@@ -50,7 +50,7 @@ import numpy as np
 from ..data.signs import SIGN_CLASSES
 from .autotune import BatchTuner
 from .batching import QueuedRequest
-from .cache import image_fingerprint, make_prediction_cache
+from .cache import cache_metrics, image_fingerprint, make_prediction_cache
 from .registry import ModelSnapshot, classifier_from_snapshot
 from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
 
@@ -375,6 +375,24 @@ class ProcessReplica:
     def warm(self, model: Optional[str] = None) -> None:
         """No-op: the worker compiles its engine during :meth:`start`."""
 
+    def metrics(self) -> dict:
+        """Live serving metrics of this replica (JSON-friendly).
+
+        Same envelope as :meth:`repro.serve.server.BatchedServer.metrics`
+        -- stats counters, cache counters, tuner snapshot -- so sharded
+        ``metrics()`` aggregation and the HTTP gateway treat thread and
+        process replicas identically.
+        """
+
+        return {
+            "mode": self.mode,
+            "alive": self.alive,
+            "shard_id": self.shard_id,
+            "stats": self.stats.as_dict(),
+            "cache": cache_metrics(self.cache),
+            "autotune": self.tuner.as_dict() if self.tuner is not None else None,
+        }
+
     def _shutdown_worker(self, force: bool = False) -> None:
         connection, process, receiver = self._connection, self._process, self._receiver
         self._connection = None
@@ -417,7 +435,7 @@ class ProcessReplica:
         if self.allowed_models is not None and request.model not in self.allowed_models:
             self.stats.rejected += 1
             raise UnknownModelError(request.model, self.allowed_models)
-        self.stats.requests += 1
+        self.stats.record_request(request.model)
         started = time.perf_counter()
         if self.cache.enabled:
             key = image_fingerprint(request.model, request.image)

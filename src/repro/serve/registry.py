@@ -49,6 +49,10 @@ __all__ = ["ModelRegistry", "ModelSnapshot", "classifier_from_snapshot"]
 _WEIGHTS_FILE = "weights.npz"
 _META_FILE = "meta.json"
 
+#: Lazily computed frozen set of catalog variant names (the catalog is
+#: static, so one computation serves every registry in the process).
+_CATALOG_NAMES = None
+
 
 class ModelSnapshot:
     """Self-contained, picklable copy of one registry entry.
@@ -170,6 +174,45 @@ class ModelRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._models or name in self.persisted()
+
+    @staticmethod
+    def catalog_names() -> "frozenset[str]":
+        """The catalog's variant names as a cached frozen set.
+
+        The catalog is static, but :func:`variant_catalog` rebuilds its
+        config dict on every call -- too costly for per-request membership
+        checks on the submit path (see :meth:`can_serve`), so the name set
+        is computed once per process.
+        """
+
+        global _CATALOG_NAMES
+        if _CATALOG_NAMES is None:
+            _CATALOG_NAMES = frozenset(variant_catalog())
+        return _CATALOG_NAMES
+
+    def can_serve(self, name: str) -> bool:
+        """Whether ``name`` can be materialized without raising.
+
+        True for variants already in memory, in the defense catalog
+        (trainable on first use), or persisted on disk (explicitly added
+        under a custom name earlier).  Cheap checks run first; the disk
+        scan only happens for names neither in memory nor the catalog.
+        Servers use this to reject unknown models at submit time instead
+        of failing the whole micro-batch later.
+        """
+
+        if name in self._models or name in self.catalog_names():
+            return True
+        if self.root is None:
+            return False
+        # O(1) on-disk probe instead of enumerating the registry directory:
+        # this runs per request for client-supplied names, so it must not
+        # scan, and a name with path separators (or a dot-prefix) is never
+        # a valid persisted entry -- refuse it without touching the
+        # filesystem (no traversal probes).
+        if "/" in name or "\\" in name or name.startswith("."):
+            return False
+        return (self.root / name / _WEIGHTS_FILE).exists()
 
     # ------------------------------------------------------------------
     # Resolution

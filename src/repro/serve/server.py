@@ -45,7 +45,7 @@ import numpy as np
 from ..data.signs import SIGN_CLASSES
 from .autotune import BatchTuner
 from .batching import MicroBatcher, QueuedRequest
-from .cache import image_fingerprint, make_prediction_cache
+from .cache import cache_metrics, image_fingerprint, make_prediction_cache
 from .registry import ModelRegistry
 from .types import PredictRequest, PredictResponse, ServerStats, UnknownModelError
 
@@ -213,6 +213,25 @@ class BatchedServer:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
+    def metrics(self) -> dict:
+        """Live serving metrics of this queue (JSON-friendly).
+
+        One envelope per queue: the lifetime :class:`ServerStats` counters
+        (including per-model request counts and the batch-size histogram),
+        the prediction cache's counters/hit rate, and -- when autotuning --
+        the tuner's snapshot with its current and best-known rungs.  This
+        is what the HTTP gateway's ``GET /metrics`` serves.
+        """
+
+        return {
+            "mode": self.mode,
+            "alive": self.alive,
+            "shard_id": self.shard_id,
+            "stats": self.stats.as_dict(),
+            "cache": cache_metrics(self.cache),
+            "autotune": self.tuner.as_dict() if self.tuner is not None else None,
+        }
+
     def warm(self, model: str = "baseline") -> None:
         """Materialize a variant (and its compiled engine) ahead of traffic.
 
@@ -233,14 +252,28 @@ class BatchedServer:
         Cache hits resolve the future immediately; misses resolve when the
         micro-batch containing the request completes.  Raises
         :class:`~repro.serve.types.UnknownModelError` when the server is
-        pinned to other variants, ``RuntimeError`` when a thread-mode
-        scheduler is not running.  Safe to call from any thread.
+        pinned to other variants -- or, unpinned, when the registry can
+        neither resolve nor train the requested name -- and
+        ``RuntimeError`` when a thread-mode scheduler is not running.
+        Safe to call from any thread.
         """
 
-        if self.allowed_models is not None and request.model not in self.allowed_models:
+        if self.allowed_models is not None:
+            if request.model not in self.allowed_models:
+                self.stats.rejected += 1
+                raise UnknownModelError(request.model, self.allowed_models)
+        elif not self.registry.can_serve(request.model):
+            # Unrestricted servers used to accept any name and fail the
+            # whole micro-batch at forward time; validating here fails only
+            # the offending request, keeps the wire fronts' 404 mapping
+            # honest, and stops client-controlled garbage names from
+            # growing the per-model stats without bound.
             self.stats.rejected += 1
-            raise UnknownModelError(request.model, self.allowed_models)
-        self.stats.requests += 1
+            raise UnknownModelError(
+                request.model,
+                set(self.registry.loaded()) | self.registry.catalog_names(),
+            )
+        self.stats.record_request(request.model)
         started = time.perf_counter()
         if self.cache.enabled:
             key = image_fingerprint(request.model, request.image)

@@ -362,6 +362,26 @@ class ShardedServer:
             total.rejected += self._rejected
         return total
 
+    def metrics(self) -> Dict[str, object]:
+        """Fleet-wide serving metrics plus one envelope per shard replica.
+
+        The top level carries the aggregated :class:`ServerStats` (per-model
+        request counts included) and the routed model list; ``"shards"``
+        maps each ``shard_id`` to that replica's own ``metrics()`` envelope
+        (stats, cache counters, tuner snapshot).  This is what the HTTP
+        gateway's ``GET /metrics`` serves for sharded deployments.
+        """
+
+        return {
+            "mode": self.mode,
+            "models": self.models,
+            "stats": self.stats.as_dict(),
+            "shards": {
+                replica.shard_id: replica.server.metrics()
+                for replica in self.all_replicas
+            },
+        }
+
     def per_shard_stats(self) -> Dict[str, ServerStats]:
         """Per-replica counters keyed by ``shard_id`` (for dashboards/tests)."""
 

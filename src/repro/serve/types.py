@@ -147,6 +147,13 @@ class ServerStats:
     rejected: int = 0
     restarts: int = 0
     batch_sizes: Dict[int, int] = field(default_factory=dict)
+    per_model: Dict[str, int] = field(default_factory=dict)
+
+    def record_request(self, model: str) -> None:
+        """Record one accepted request for ``model`` (feeds the per-model counts)."""
+
+        self.requests += 1
+        self.per_model[model] = self.per_model.get(model, 0) + 1
 
     def record_batch(self, size: int) -> None:
         """Record one executed micro-batch of ``size`` images."""
@@ -179,6 +186,11 @@ class ServerStats:
             "mean_batch_size": self.mean_batch_size,
             "rejected": self.rejected,
             "restarts": self.restarts,
+            # Snapshots: workers may be inserting keys concurrently.
+            "per_model_requests": dict(self.per_model),
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(dict(self.batch_sizes).items())
+            },
         }
 
     @classmethod
@@ -202,4 +214,6 @@ class ServerStats:
             # while we aggregate from another thread.
             for size, count in dict(part.batch_sizes).items():
                 total.batch_sizes[size] = total.batch_sizes.get(size, 0) + count
+            for model, count in dict(part.per_model).items():
+                total.per_model[model] = total.per_model.get(model, 0) + count
         return total

@@ -22,6 +22,7 @@ MODULES = [
     "repro.serve.batching",
     "repro.serve.cache",
     "repro.serve.frontend",
+    "repro.serve.http",
     "repro.serve.procshard",
     "repro.serve.registry",
     "repro.serve.server",

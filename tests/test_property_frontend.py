@@ -1,0 +1,212 @@
+"""Property-based fuzzing (hypothesis) of the socket front-end's frame codec.
+
+The frame decoder is the first code that touches bytes from the network --
+the exact place adversarial and malformed input arrives.  Its contract
+(documented on :func:`repro.serve.frontend.decode_payload`) is:
+
+1. **round trip** -- whatever :func:`encode_json_frame` /
+   :func:`encode_npy_frame` produce decodes back to the same message, for
+   arbitrary JSON-safe metas and arbitrary-dtype/shape images;
+2. **``ValueError`` is the only escape** -- any malformed payload (random
+   kinds, random bytes, truncated ``N`` frames, ``meta_len`` overflowing
+   the payload, non-UTF-8 or non-object meta, pickle-bearing npy bodies)
+   raises ``ValueError`` and nothing else: never a hang, never a crash,
+   and never an unpickling (the connection handler maps ``ValueError`` to
+   an error frame; anything else would kill the handler).
+
+Together the suites here run well over 500 examples per session, closing
+the ROADMAP item "fuzz the frame decoder with hypothesis".
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.serve.frontend import (
+    FRAME_JSON,
+    FRAME_NPY,
+    _HEADER,
+    _META_LEN,
+    decode_payload,
+    encode_json_frame,
+    encode_npy_frame,
+)
+
+SETTINGS = settings(max_examples=150, deadline=None)
+
+# JSON-safe values: everything json.dumps/loads round-trips bit-exactly
+# (finite floats survive because dumps emits shortest-repr doubles).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+
+metas = st.dictionaries(st.text(max_size=15), json_values, max_size=5)
+
+# The decoder attaches the image under "image"; keep metas clear of it so
+# the round-trip comparison stays exact.
+npy_metas = metas.map(lambda meta: {k: v for k, v in meta.items() if k != "image"})
+
+images = npst.arrays(
+    dtype=st.sampled_from(
+        [np.float64, np.float32, np.int64, np.int32, np.uint8, np.bool_]
+    ),
+    shape=npst.array_shapes(min_dims=0, max_dims=4, max_side=5),
+)
+
+
+def _decode_frame(frame: bytes):
+    """Split one encoded frame into (kind, payload) and decode it."""
+
+    kind, length = _HEADER.unpack(frame[: _HEADER.size])
+    payload = frame[_HEADER.size :]
+    assert length == len(payload)
+    return decode_payload(kind, payload)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @SETTINGS
+    @given(meta=metas)
+    def test_json_frame_round_trips_any_json_object(self, meta):
+        assert _decode_frame(encode_json_frame(meta)) == meta
+
+    @SETTINGS
+    @given(meta=npy_metas, image=images)
+    def test_npy_frame_round_trips_any_dtype_and_shape(self, meta, image):
+        message = _decode_frame(encode_npy_frame(meta, image))
+        decoded = message.pop("image")
+        assert message == meta
+        assert decoded.dtype == image.dtype
+        assert decoded.shape == image.shape
+        assert np.array_equal(decoded, image, equal_nan=image.dtype.kind == "f")
+
+
+# ----------------------------------------------------------------------
+# Adversarial bytes: ValueError is the only way out
+# ----------------------------------------------------------------------
+class TestAdversarial:
+    @SETTINGS
+    @given(kind=st.binary(min_size=0, max_size=2), payload=st.binary(max_size=256))
+    def test_decode_never_escapes_non_value_error(self, kind, payload):
+        # Any (kind, payload) pair must either decode to a message dict or
+        # raise ValueError -- UnicodeDecodeError / json.JSONDecodeError are
+        # ValueError subclasses; EOFError/OSError/struct.error/TypeError
+        # escaping here would kill the connection handler.
+        try:
+            message = decode_payload(kind, payload)
+        except ValueError:
+            return
+        assert isinstance(message, dict)
+
+    @SETTINGS
+    @given(meta=npy_metas, image=images, data=st.data())
+    def test_any_strict_prefix_of_an_npy_payload_raises_value_error(
+        self, meta, image, data
+    ):
+        payload = encode_npy_frame(meta, image)[_HEADER.size :]
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        with pytest.raises(ValueError):
+            decode_payload(FRAME_NPY, payload[:cut])
+
+    @SETTINGS
+    @given(
+        claimed_extra=st.integers(min_value=1, max_value=2**31),
+        tail=st.binary(max_size=64),
+    )
+    def test_meta_len_overflowing_the_payload_raises_value_error(
+        self, claimed_extra, tail
+    ):
+        # meta_len announces more meta bytes than the payload holds; the
+        # slice bound check must fire before any json/npy parsing.
+        payload = _META_LEN.pack(min(len(tail) + claimed_extra, 2**32 - 1)) + tail
+        with pytest.raises(ValueError):
+            decode_payload(FRAME_NPY, payload)
+
+    @SETTINGS
+    @given(junk=st.binary(min_size=0, max_size=64), image=images)
+    def test_non_utf8_meta_raises_value_error(self, junk, image):
+        # 0xFF can never appear in well-formed UTF-8.
+        meta_bytes = junk + b"\xff"
+        buffer = io.BytesIO()
+        np.save(buffer, image, allow_pickle=False)
+        payload = _META_LEN.pack(len(meta_bytes)) + meta_bytes + buffer.getvalue()
+        with pytest.raises(ValueError):
+            decode_payload(FRAME_NPY, payload)
+
+    @SETTINGS
+    @given(meta=npy_metas)
+    def test_non_object_json_meta_raises_value_error(self, meta):
+        # Valid JSON, wrong type: arrays/scalars as meta would make the
+        # decoder's `meta["image"] = ...` blow up with TypeError downstream
+        # (and non-dict messages break every `.get` in the front-end).
+        for document in (b"[1, 2, 3]", b"7", b'"text"', b"null"):
+            payload = _META_LEN.pack(len(document)) + document + b""
+            with pytest.raises(ValueError):
+                decode_payload(FRAME_NPY, payload)
+        with pytest.raises(ValueError):
+            decode_payload(FRAME_JSON, b"[1, 2, 3]")
+
+
+class TestPickleRefusal:
+    def _pickle_bearing_npy(self) -> bytes:
+        buffer = io.BytesIO()
+        np.save(
+            buffer,
+            np.array([{"never": "unpickled"}], dtype=object),
+            allow_pickle=True,
+        )
+        return buffer.getvalue()
+
+    def test_pickle_bearing_npy_body_raises_value_error(self):
+        meta = b'{"op": "predict"}'
+        payload = _META_LEN.pack(len(meta)) + meta + self._pickle_bearing_npy()
+        with pytest.raises(ValueError):
+            decode_payload(FRAME_NPY, payload)
+
+    def test_pickle_payload_never_reaches_the_unpickler(self):
+        # A crafted pickle that records execution: if np.load ever honored
+        # it, the flag would flip.  (allow_pickle=False must refuse first.)
+        executed = []
+
+        class Recorder:
+            def __reduce__(self):
+                return (executed.append, ("boom",))
+
+        import pickle
+
+        npy = self._pickle_bearing_npy()
+        # Splice a malicious pickle body after the real npy header.
+        header_end = npy.index(b"\n") + 1
+        malicious = npy[:header_end] + pickle.dumps(Recorder())
+        meta = b"{}"
+        payload = _META_LEN.pack(len(meta)) + meta + malicious
+        with pytest.raises(ValueError):
+            decode_payload(FRAME_NPY, payload)
+        assert executed == []
+
+
+def test_header_struct_matches_wire_contract():
+    """The documented wire format (kind byte + u32 length) is the packed one."""
+
+    assert _HEADER.size == 5
+    assert struct.calcsize(">cI") == 5
+    frame = encode_json_frame({"op": "ping"})
+    kind, length = _HEADER.unpack(frame[:5])
+    assert kind == FRAME_JSON
+    assert length == len(frame) - 5

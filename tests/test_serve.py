@@ -206,6 +206,23 @@ class TestModelRegistry:
         with pytest.raises(KeyError, match="unknown model variant"):
             resolve_variant("no_such_model")
 
+    def test_can_serve_covers_memory_catalog_disk_and_rejects_garbage(
+        self, tmp_path, tiny_registry_kwargs, memory_registry
+    ):
+        # In-memory custom name and catalog name resolve; garbage does not.
+        assert memory_registry.can_serve("baseline")
+        assert memory_registry.can_serve("feature_filter_3x3")  # trainable
+        assert not memory_registry.can_serve("no_such_model")
+        # A persisted custom name is found by a fresh registry via the O(1)
+        # disk probe -- without any directory scan (and path-separator
+        # names never touch the filesystem).
+        disk = ModelRegistry(tmp_path / "registry", **tiny_registry_kwargs)
+        disk.get("baseline")
+        fresh = ModelRegistry(tmp_path / "registry", **tiny_registry_kwargs)
+        assert fresh.can_serve("baseline")
+        assert not fresh.can_serve("../registry/baseline")
+        assert not fresh.can_serve(".hidden")
+
     def test_train_persist_reload_identical_predictions(self, tmp_path, tiny_registry_kwargs):
         registry = ModelRegistry(tmp_path / "registry", **tiny_registry_kwargs)
         trained = registry.get("baseline")

@@ -23,6 +23,7 @@ class TestFlagParsing:
         assert arguments.routing == "round_robin"
         assert arguments.mode == "thread"
         assert arguments.port is None
+        assert arguments.http_port is None
         assert arguments.synthetic == 256
         assert arguments.duplicate_fraction == 0.25
         assert arguments.batch_size == 32
@@ -39,6 +40,7 @@ class TestFlagParsing:
                 "--routing", "least_loaded",
                 "--mode", "process",
                 "--port", "0",
+                "--http-port", "8080",
                 "--host", "0.0.0.0",
                 "--batch-size", "16",
                 "--max-wait-ms", "5.5",
@@ -56,6 +58,7 @@ class TestFlagParsing:
         assert arguments.routing == "least_loaded"
         assert arguments.mode == "process"
         assert arguments.port == 0
+        assert arguments.http_port == 8080
         assert arguments.host == "0.0.0.0"
         assert arguments.batch_size == 16
         assert arguments.max_wait_ms == 5.5
@@ -72,6 +75,7 @@ class TestFlagParsing:
             ["--cache-policy", "arc"],
             ["--replicas", "two"],
             ["--port", "http"],
+            ["--http-port", "socket"],
             ["--images", "x", "--synthetic", "9"],  # mutually exclusive
         ],
     )
@@ -90,6 +94,8 @@ class TestCombinationValidation:
             (["--duplicate-fraction", "-0.1"], "duplicate-fraction"),
             (["--replicas", "0"], "replicas"),
             (["--port", "0", "--mode", "sync"], "--port"),
+            (["--http-port", "0", "--mode", "sync"], "--http-port"),
+            (["--port", "7860", "--http-port", "7860"], "must differ"),
             (["--mode", "process"], "--mode process"),
             (["--compare-naive", "--shards", "baseline,input_filter_3x3"], "compare-naive"),
             (["--compare-single-queue"], "compare-single-queue"),
@@ -110,6 +116,8 @@ class TestCombinationValidation:
 
         for argv in (
             ["--mode", "process", "--shards", "nope_variant"],
+            ["--http-port", "0", "--model", "nope_variant"],
+            ["--port", "7860", "--http-port", "8080", "--model", "nope_variant"],
             ["--autotune", "--mode", "sync", "--model", "nope_variant"],
             ["--cache-policy", "tinylfu", "--model", "nope_variant"],
             ["--cache-policy", "lru", "--cache-size", "0", "--model", "nope_variant"],

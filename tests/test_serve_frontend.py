@@ -195,6 +195,49 @@ class TestSocketFrontend:
             finally:
                 client.close()
 
+    def test_client_raises_connection_error_when_frontend_stops(self, registry, pool):
+        # The front-end going away must surface as a clear ConnectionError
+        # on the blocking client -- never a bare struct/EOF error from a
+        # half-read frame.
+        server = ShardedServer(registry, ["alpha"], mode="thread")
+        with server:
+            frontend = SocketFrontend(server, port=0).start()
+            client = SocketClient("127.0.0.1", frontend.port)
+            try:
+                assert client.ping()
+                frontend.stop()
+                with pytest.raises(ConnectionError):
+                    client.predict(pool[0], model="alpha")
+            finally:
+                client.close()
+
+    def test_recv_exactly_reports_mid_frame_close(self, registry):
+        # A server that dies after half a frame: the partial read must name
+        # the mid-frame condition, not raise struct.error downstream.
+        listener = __import__("socket").socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def half_frame_server():
+            connection, _ = listener.accept()
+            connection.recv(1024)  # swallow the request
+            connection.sendall(b"J\x00\x00")  # 3 of 5 header bytes
+            connection.close()
+
+        import threading as _threading
+
+        thread = _threading.Thread(target=half_frame_server, daemon=True)
+        thread.start()
+        client = SocketClient("127.0.0.1", port, timeout=5.0)
+        try:
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                client.ping()
+        finally:
+            client.close()
+            thread.join(timeout=5.0)
+            listener.close()
+
     def test_port_zero_binds_ephemeral_port(self, registry):
         server = ShardedServer(registry, ["alpha"], mode="thread")
         with server:
